@@ -1,0 +1,195 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **fence vs PSCW crossover** -- Section 6's worked example: the paper's
+   models predict PSCW wins when P_fence > P_post+P_complete+P_start+P_wait.
+   We *measure* both in simulation across (p, k) and check the measured
+   winner against the model's prediction.
+2. **eager threshold** -- the MPI-1 protocol switch: sweep the threshold
+   and show the default sits at the eager/rendezvous crossover.
+3. **NIC FMA/BTE split** -- disable the split (force everything onto one
+   bulk channel) and show the hashtable hot-spot collapses, motivating the
+   two-path NIC model.
+4. **PSCW ring capacity** -- protocol memory (O(k)) vs the failure bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.bench import Series, format_table
+from repro.config import MachineConfig
+from repro.models.params_fompi import PAPER_MODELS
+from repro.models.perfmodel import prefer_pscw
+from repro.mpi1.params import Mpi1Params
+
+INTER = MachineConfig(ranks_per_node=1)
+
+
+def _fence_time(p):
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        yield from win.fence()
+        t0 = ctx.now
+        yield from win.fence()
+        return ctx.now - t0
+
+    return max(run_spmd(program, p, machine=INTER).returns)
+
+
+def _sym_group(rank, p, k):
+    """k nearest neighbors (symmetric: j in group(i) <=> i in group(j))."""
+    half = k // 2
+    group = []
+    for i in range(1, half + 1):
+        group.append((rank + i) % p)
+        group.append((rank - i) % p)
+    return list(dict.fromkeys(g for g in group if g != rank))
+
+
+def _pscw_time(p, k):
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        yield from ctx.coll.barrier()
+        group = _sym_group(ctx.rank, ctx.nranks, k)
+        t0 = ctx.now
+        yield from win.post(group)
+        yield from win.start(group)
+        yield from win.complete()
+        yield from win.wait()
+        return ctx.now - t0
+
+    return max(run_spmd(program, p, machine=INTER).returns)
+
+
+def test_ablation_fence_vs_pscw_choice(benchmark, record_series):
+    """Measured winner must agree with the Section 6 model rule."""
+    cases = [(8, 2), (32, 2), (32, 8), (64, 4)]
+
+    def run():
+        rows = []
+        for p, k in cases:
+            tf = _fence_time(p)
+            tp = _pscw_time(p, min(k, p - 1))
+            measured = "PSCW" if tp < tf else "fence"
+            predicted = "PSCW" if prefer_pscw(PAPER_MODELS, p=p, k=k) \
+                else "fence"
+            rows.append([p, k, round(tf / 1e3, 2), round(tp / 1e3, 2),
+                         measured, predicted])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation: fence vs PSCW (measured winner vs model prediction)",
+        ["p", "k", "fence [us]", "pscw [us]", "measured", "model"], rows)
+    record_series("ablation_sync_choice", table, rows)
+    agree = sum(1 for r in rows if r[4] == r[5])
+    assert agree >= len(rows) - 1  # the models are a usable design tool
+
+
+def test_ablation_eager_threshold(benchmark, record_series):
+    """Sweep the eager/rendezvous switch for an 8 KiB ping-pong."""
+    nbytes = 8192
+
+    def latency(threshold):
+        params = Mpi1Params(eager_threshold=threshold)
+
+        def program(ctx):
+            data = np.zeros(nbytes, np.uint8)
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(4):
+                    yield from ctx.mpi.send(1, data)
+                    yield from ctx.mpi.recv(1)
+                return (ctx.now - t0) / 8
+            for _ in range(4):
+                got = yield from ctx.mpi.recv(0)
+                yield from ctx.mpi.send(0, got)
+            return None
+
+        return run_spmd(program, 2, machine=INTER,
+                        mpi1=params).returns[0]
+
+    def run():
+        return [[thr, round(latency(thr) / 1e3, 3)]
+                for thr in (1024, 4096, 8192, 16384, 65536)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation: MPI-1 eager threshold for an 8 KiB ping-pong",
+        ["threshold [B]", "half-RTT [us]"], rows)
+    record_series("ablation_eager_threshold", table, rows)
+    # 8 KiB message: eager (threshold >= 8 KiB) pays the copy, rendezvous
+    # (threshold < 8 KiB) pays the handshake -- both regimes must appear.
+    lats = [lat for _t, lat in rows]
+    assert max(lats) != min(lats)
+
+
+def test_ablation_fma_bte_split(benchmark, record_series):
+    """Force small control packets onto the bulk channel: MILC's get
+    requests then queue behind get responses (head-of-line blocking) and
+    the halo exchange slows down -- the reason the NIC model separates
+    Gemini's FMA and BTE paths."""
+    from repro.apps.milc import MilcSpec, milc_program
+    from repro.machine.params import GeminiParams
+
+    spec = MilcSpec(local=(4, 4, 4, 8), maxiter=10, tol=0.0)
+    machine = MachineConfig(ranks_per_node=32)
+
+    def run():
+        t_split = max(e for e, *_ in run_spmd(
+            milc_program, 128, spec, "rma", machine=machine).returns)
+        # fma_threshold=0 -> every packet takes the BTE path
+        t_merged = max(e for e, *_ in run_spmd(
+            milc_program, 128, spec, "rma", machine=machine,
+            gemini=GeminiParams(fma_threshold=0)).returns)
+        return {"split_ms": t_split / 1e6, "merged_ms": t_merged / 1e6}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation: NIC FMA/BTE split (MILC RMA halo, p=128, 32 ranks/node)",
+        ["config", "solve time [ms]"],
+        [["separate FMA+BTE (default)", round(out["split_ms"], 2)],
+         ["single shared channel", round(out["merged_ms"], 2)]])
+    record_series("ablation_fma_bte", table, [out])
+    assert out["merged_ms"] > out["split_ms"]
+
+
+def test_ablation_pscw_ring_capacity(benchmark, record_series):
+    """Ring slots are the protocol's O(k) memory; capacity must cover the
+    neighbor bound and fail loudly beyond it."""
+    from repro.errors import RmaError
+    from repro.rma.params import FompiParams
+
+    def attempt(capacity, k, p=9):
+        params = FompiParams(pscw_ring_capacity=capacity)
+
+        def program(ctx):
+            ctx.rma.params = params
+            win = yield from ctx.rma.win_allocate(64)
+            yield from ctx.coll.barrier()
+            group = _sym_group(ctx.rank, ctx.nranks, k)
+            yield from win.post(group)
+            # delay consumption so all k posts are outstanding at once
+            yield from ctx.compute(50_000)
+            yield from win.start(group)
+            yield from win.complete()
+            yield from win.wait()
+            return True
+
+        try:
+            run_spmd(program, p, machine=INTER)
+            return "ok"
+        except RmaError:
+            return "overflow"
+
+    def run():
+        return [[cap, k, attempt(cap, k)]
+                for cap, k in ((8, 4), (8, 8), (4, 6))]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation: PSCW matching-ring capacity vs neighbor count k",
+        ["capacity", "k", "outcome"], rows)
+    record_series("ablation_pscw_capacity", table, rows)
+    assert rows[0][2] == "ok"
+    assert rows[2][2] == "overflow"

@@ -1,0 +1,79 @@
+"""Figure 4: put/get latency across transports.
+
+(a) inter-node Put, (b) inter-node Get, (c) intra-node Put/Get -- five
+transports, 8 B to 256 KiB, with the paper's fitted model overlaid for
+foMPI.
+"""
+
+import pytest
+
+from repro.bench import Series, format_series_table
+from repro.bench import microbench as mb
+from repro.models.params_fompi import paper_model
+
+SIZES = [8, 64, 512, 4096, 32768, 262144]
+
+
+def _latency_series(direction: str, intra: bool):
+    fn = mb.put_latency if direction == "put" else mb.get_latency
+    series = []
+    for transport in mb.LATENCY_TRANSPORTS:
+        s = Series(label=transport, meta={"unit": "us", "mode": "sim"})
+        for size in SIZES:
+            s.add(size, round(fn(transport, size, intra=intra) / 1e3, 3))
+        series.append(s)
+    model = paper_model(direction)
+    ref = Series(label="paper-model", meta={"unit": "us", "mode": "model"})
+    for size in SIZES:
+        ref.add(size, round(model(s=size) / 1e3, 3))
+    if not intra:
+        series.append(ref)
+    return series
+
+
+def test_fig4a_put_latency_inter(benchmark, record_series):
+    def run():
+        return _latency_series("put", intra=False)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 4a: inter-node Put latency [us] vs size [B]",
+        "size", series)
+    record_series("fig4a", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+    fompi = next(s for s in series if s.label == "fompi")
+    ref = next(s for s in series if s.label == "paper-model")
+    for got, want in zip(fompi.ys, ref.ys):
+        assert abs(got - want) / want < 0.35
+
+
+def test_fig4b_get_latency_inter(benchmark, record_series):
+    def run():
+        return _latency_series("get", intra=False)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 4b: inter-node Get latency [us] vs size [B]",
+        "size", series)
+    record_series("fig4b", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+
+
+def test_fig4c_latency_intra(benchmark, record_series):
+    def run():
+        put = _latency_series("put", intra=True)
+        get = _latency_series("get", intra=True)
+        for s in get:
+            s.label = f"{s.label}-get"
+        return put + get
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 4c: intra-node Put/Get latency [us] vs size [B]",
+        "size", series)
+    record_series("fig4c", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+    # shape: foMPI's XPMEM path beats every other transport intra-node
+    fompi = next(s for s in series if s.label == "fompi")
+    mpi1 = next(s for s in series if s.label == "mpi1")
+    assert fompi.ys[0] < mpi1.ys[0]

@@ -1,0 +1,68 @@
+"""Figure 5: (a) communication/computation overlap, (b) inter-node message
+rate, (c) intra-node message rate."""
+
+from repro.bench import Series, format_series_table
+from repro.bench import microbench as mb
+
+OVERLAP_SIZES = [8, 512, 4096, 32768, 262144, 2097152]
+RATE_SIZES = [8, 64, 512, 4096, 32768, 262144]
+
+
+def test_fig5a_overlap(benchmark, record_series):
+    def run():
+        series = []
+        for transport in ("fompi", "upc", "cray22"):
+            s = Series(label=transport, meta={"unit": "%", "mode": "sim"})
+            for size in OVERLAP_SIZES:
+                s.add(size, round(
+                    100 * mb.overlap_fraction(transport, size), 1))
+            series.append(s)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 5a: communication/computation overlap [%] vs size [B]",
+        "size", series)
+    record_series("fig5a", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+    fompi = next(s for s in series if s.label == "fompi")
+    cray = next(s for s in series if s.label == "cray22")
+    assert fompi.ys[-1] > 85          # large puts overlap almost fully
+    assert cray.ys[0] > fompi.ys[0]   # MPI-2.2's latency hides more early
+
+
+def _rate_series(intra: bool):
+    series = []
+    for transport in mb.LATENCY_TRANSPORTS:
+        s = Series(label=transport, meta={"unit": "Mmsg/s", "mode": "sim"})
+        for size in RATE_SIZES:
+            nm = 400 if size <= 4096 else 120
+            s.add(size, round(
+                mb.message_rate(transport, size, intra=intra, nmsgs=nm) / 1e6,
+                4))
+        series.append(s)
+    return series
+
+
+def test_fig5b_message_rate_inter(benchmark, record_series):
+    series = benchmark.pedantic(lambda: _rate_series(False),
+                                rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 5b: inter-node message rate [M msgs/s] vs size [B]",
+        "size", series)
+    record_series("fig5b", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+    fompi = next(s for s in series if s.label == "fompi")
+    assert 2.0 <= fompi.ys[0] <= 2.6   # ~2.4 M/s at 8 B (416 ns injection)
+
+
+def test_fig5c_message_rate_intra(benchmark, record_series):
+    series = benchmark.pedantic(lambda: _rate_series(True),
+                                rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 5c: intra-node message rate [M msgs/s] vs size [B]",
+        "size", series)
+    record_series("fig5c", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+    fompi = next(s for s in series if s.label == "fompi")
+    assert fompi.ys[0] > 5.0           # ~12.5 M/s at 8 B (80 ns store)

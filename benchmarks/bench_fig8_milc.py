@@ -1,0 +1,43 @@
+"""Figure 8: MILC proxy full-solve time, weak scaling, with the
+foMPI/UPC-over-MPI-1 improvement annotations."""
+
+from repro.apps.milc import MilcSpec
+from repro.bench import Series, format_series_table
+from repro.bench.appbench import milc_time_s
+
+PS = [8, 32, 128]
+SPEC = MilcSpec(local=(4, 4, 4, 8), maxiter=25, tol=0.0)
+
+
+def test_fig8_milc(benchmark, record_series):
+    def run():
+        series = []
+        for variant, label in (("mpi1", "mpi1"), ("rma", "fompi"),
+                               ("upc", "upc")):
+            s = Series(label=label,
+                       meta={"unit": "ms (simulated)", "mode": "sim",
+                             "local_lattice": "4^3 x 8, 25 CG iterations"})
+            for p in PS:
+                s.add(p, round(milc_time_s(variant, p, SPEC) * 1e3, 3))
+            series.append(s)
+        imp = Series(label="fompi improvement %", meta={"mode": "derived"})
+        mpi = next(s for s in series if s.label == "mpi1")
+        fom = next(s for s in series if s.label == "fompi")
+        for p, m, f in zip(PS, mpi.ys, fom.ys):
+            imp.add(p, round(100 * (m - f) / m, 1))
+        series.append(imp)
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 8: MILC proxy completion time [ms] vs processes "
+        "(weak scaling)", "p", series)
+    record_series("fig8", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+    imp = next(s for s in series if s.label == "fompi improvement %")
+    # The paper reports 5-15% full-application improvement.
+    assert all(2.0 <= v <= 25.0 for v in imp.ys), imp.ys
+    upc = next(s for s in series if s.label == "upc")
+    fom = next(s for s in series if s.label == "fompi")
+    for u, f in zip(upc.ys, fom.ys):
+        assert abs(u - f) / f < 0.15     # "essentially the same performance"

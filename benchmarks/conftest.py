@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each ``test_fig*`` target regenerates one figure/table of the paper: it
+runs the simulated experiment, prints the series as a fixed-width table
+(run with ``-s`` to see it), stores it in pytest-benchmark ``extra_info``,
+and wraps the whole driver in ``benchmark`` so the usual
+``pytest benchmarks/ --benchmark-only`` flow reports wall-clock cost of
+regenerating each figure.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_series():
+    """Print + persist a figure's series; returns the writer function."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, table: str, series: list) -> None:
+        print()
+        print(table)
+        payload = [s.as_dict() if hasattr(s, "as_dict") else s
+                   for s in series]
+        (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1))
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+
+    return _write

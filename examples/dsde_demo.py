@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Dynamic Sparse Data Exchange (paper Section 4.2): all five protocols.
+
+Every rank sends 8 bytes to k random targets; nobody knows what they will
+receive.  The demo runs the alltoall / reduce_scatter / NBX / RMA /
+Cray-MPI-2.2-RMA protocols, checks that every protocol delivers the exact
+same multiset, and prints the exchange times -- a miniature Figure 7b.
+
+Run:  python examples/dsde_demo.py
+"""
+
+from repro import run_spmd
+from repro.apps.dsde import PROTOCOLS, dsde_program, expected_incoming
+from repro.bench.harness import format_table
+from repro.config import MachineConfig, SimConfig
+
+
+def main():
+    p, k = 16, 4
+    machine = MachineConfig(ranks_per_node=4)
+    sim = SimConfig()
+    want = expected_incoming(sim.seed, p, k)
+    rows = []
+    for proto in PROTOCOLS:
+        res = run_spmd(dsde_program, p, proto, k, machine=machine, sim=sim)
+        for r, (_t, received) in enumerate(res.returns):
+            assert received == want[r], f"{proto}: wrong delivery at {r}"
+        worst = max(t for t, _ in res.returns)
+        rows.append([proto, round(worst / 1e3, 2)])
+    rows.sort(key=lambda r: r[1])
+    print(format_table(
+        f"DSDE: {p} ranks, k={k} random neighbors (deliveries verified)",
+        ["protocol", "exchange time [us]"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The paper's performance models as a design tool (Sections 3 and 6).
+
+1. prints the measured model catalog with its Figure-1-style domains,
+2. runs the Section 6 worked example -- when should an application use
+   fence vs PSCW synchronization? -- across p and k,
+3. measures the *simulated* put latency, fits it to the paper's affine
+   form, and compares constants (the calibration loop of EXPERIMENTS.md).
+
+Run:  python examples/performance_models.py
+"""
+
+from repro.bench import microbench as mb
+from repro.bench.harness import format_table
+from repro.models.fitting import fit_affine
+from repro.models.params_fompi import PAPER_MODELS
+from repro.models.perfmodel import prefer_pscw
+
+
+def main():
+    rows = [[name, m.name, m.domain_str(),
+             f"{m(s=8, p=64, k=2, o=None) / 1e3:.2f}"]
+            for name, m in sorted(PAPER_MODELS.items())]
+    print(format_table(
+        "Paper performance models (evaluated at s=8 B, p=64, k=2)",
+        ["key", "model", "domain", "us"], rows))
+    print()
+
+    rows = []
+    for p in (16, 256, 4096, 65536):
+        for k in (2, 8, 32):
+            choice = "PSCW" if prefer_pscw(PAPER_MODELS, p=p, k=k) else "fence"
+            rows.append([p, k, choice])
+    print(format_table(
+        "Section 6 decision rule: P_fence vs P_post+P_complete+P_start+P_wait",
+        ["p", "k", "choose"], rows))
+    print()
+
+    sizes = [8, 512, 8192, 65536]
+    lats = [mb.put_latency("fompi", s) for s in sizes]
+    a, b = fit_affine(sizes, lats)
+    print("simulated put latency fit:   "
+          f"P_put = {b:.3f} ns/B * s + {a / 1e3:.2f} us")
+    print("paper's measured model:      P_put = 0.160 ns/B * s + 1.00 us")
+
+
+if __name__ == "__main__":
+    main()

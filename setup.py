@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` cannot build a PEP 660 editable wheel.  This shim lets
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+with a modern toolchain) install the package in editable mode; metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

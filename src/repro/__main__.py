@@ -1,0 +1,191 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``            run the quickstart program and print the results
+``figure <id>``     regenerate one figure series (4a 4b 4c 5a 5b 5c 6a 6b
+                    6c 7a 7b 7c 8) and print it as a table + ASCII chart
+``models``          print the paper's performance-model catalog
+``calibrate``       fit the simulated put/get/atomics series against the
+                    paper's measured functions and report errors
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import Series, format_series_table
+from repro.bench.report import ascii_chart
+
+
+def _figure(fig: str, fast: bool) -> tuple[str, list]:
+    from repro.bench import microbench as mb
+    from repro.bench import syncbench as sb
+    from repro.bench.appbench import dsde_time_us, hashtable_rate, milc_time_s
+
+    sizes = [8, 512, 8192, 65536] if fast else [8, 64, 512, 4096, 32768,
+                                                262144]
+    ps = [2, 8, 32] if fast else [2, 8, 32, 128]
+
+    if fig in ("4a", "4b"):
+        fn = mb.put_latency if fig == "4a" else mb.get_latency
+        series = []
+        for t in mb.LATENCY_TRANSPORTS:
+            s = Series(label=t)
+            for size in sizes:
+                s.add(size, fn(t, size) / 1e3)
+            series.append(s)
+        return (f"Figure {fig}: inter-node latency [us]", series)
+    if fig == "4c":
+        series = []
+        for t in mb.LATENCY_TRANSPORTS:
+            s = Series(label=t)
+            for size in sizes:
+                s.add(size, mb.put_latency(t, size, intra=True) / 1e3)
+            series.append(s)
+        return ("Figure 4c: intra-node put latency [us]", series)
+    if fig == "5a":
+        series = []
+        for t in ("fompi", "upc", "cray22"):
+            s = Series(label=t)
+            for size in sizes:
+                s.add(size, 100 * mb.overlap_fraction(t, size))
+            series.append(s)
+        return ("Figure 5a: overlap [%]", series)
+    if fig in ("5b", "5c"):
+        intra = fig == "5c"
+        series = []
+        for t in mb.LATENCY_TRANSPORTS:
+            s = Series(label=t)
+            for size in sizes:
+                s.add(size, mb.message_rate(t, size, intra=intra,
+                                            nmsgs=200) / 1e6)
+            series.append(s)
+        return (f"Figure {fig}: message rate [M/s]", series)
+    if fig == "6a":
+        series = []
+        for kind in ("fompi_sum", "fompi_min"):
+            s = Series(label=kind)
+            for n in (1, 64, 4096):
+                s.add(n, mb.atomic_latency(kind, n, reps=2) / 1e3)
+            series.append(s)
+        return ("Figure 6a: atomics [us]", series)
+    if fig == "6b":
+        series = []
+        for t in ("fompi", "upc", "caf", "cray22"):
+            s = Series(label=t)
+            for p in ps:
+                s.add(p, sb.global_sync_latency(t, p) / 1e3)
+            series.append(s)
+        return ("Figure 6b: global sync [us]", series)
+    if fig == "6c":
+        series = []
+        for t in ("fompi", "cray22"):
+            s = Series(label=t)
+            for p in [4, 16, 64]:
+                s.add(p, sb.pscw_ring_latency(t, p) / 1e3)
+            series.append(s)
+        return ("Figure 6c: PSCW ring [us]", series)
+    if fig == "7a":
+        series = []
+        for t in ("fompi", "upc", "mpi1"):
+            s = Series(label=t)
+            for p in [2, 8, 32] + ([] if fast else [128]):
+                s.add(p, hashtable_rate(t, p, 32) / 1e6)
+            series.append(s)
+        return ("Figure 7a: hashtable [M inserts/s]", series)
+    if fig == "7b":
+        series = []
+        for proto in ("alltoall", "reduce_scatter", "nbx", "rma"):
+            s = Series(label=proto)
+            for p in [4, 16] + ([] if fast else [64]):
+                s.add(p, dsde_time_us(proto, p, 6))
+            series.append(s)
+        return ("Figure 7b: DSDE [us]", series)
+    if fig == "7c":
+        from repro.apps.fft import FftSpec
+        from repro.bench.appbench import fft_gflops
+
+        spec = FftSpec(nx=32, ny=32, nz=32, flop_rate=2.5e10)
+        series = []
+        for v, label in (("mpi1", "mpi1"), ("rma_overlap", "fompi")):
+            s = Series(label=label)
+            for p in (8, 32):
+                s.add(p, fft_gflops(v, p, spec, ranks_per_node=2))
+            series.append(s)
+        return ("Figure 7c: FFT [GFlop/s]", series)
+    if fig == "8":
+        series = []
+        for v, label in (("mpi1", "mpi1"), ("rma", "fompi"), ("upc", "upc")):
+            s = Series(label=label)
+            for p in (8, 32):
+                s.add(p, milc_time_s(v, p) * 1e3)
+            series.append(s)
+        return ("Figure 8: MILC [ms]", series)
+    raise SystemExit(f"unknown figure {fig!r}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("demo")
+    f = sub.add_parser("figure")
+    f.add_argument("id")
+    f.add_argument("--full", action="store_true",
+                   help="larger sweeps (slower)")
+    sub.add_parser("models")
+    sub.add_parser("calibrate")
+    args = ap.parse_args(argv)
+
+    if args.cmd == "demo":
+        import numpy as np
+
+        from repro import run_spmd
+        from repro.config import MachineConfig
+        from repro.rma.enums import Op
+
+        def program(ctx):
+            win = yield from ctx.rma.win_allocate(4096, disp_unit=8)
+            yield from win.fence()
+            yield from win.put(np.array([100 + ctx.rank], np.int64),
+                               (ctx.rank + 1) % ctx.nranks, 0)
+            yield from win.fence(no_succeed=True)
+            yield from win.lock_all()
+            old = yield from win.fetch_and_op(np.int64(1), 0, 1, Op.SUM)
+            yield from win.unlock_all()
+            yield from ctx.coll.barrier()
+            return int(win.local_view(np.int64)[0]), int(old)
+
+        res = run_spmd(program, 4, machine=MachineConfig(ranks_per_node=1))
+        print(f"simulated {res.sim_time_ns / 1e3:.1f} us, "
+              f"{res.events_processed} events")
+        for rank, (received, ticket) in enumerate(res.returns):
+            print(f"rank {rank}: received {received}, atomic ticket {ticket}")
+    elif args.cmd == "figure":
+        title, series = _figure(args.id, fast=not args.full)
+        print(format_series_table(title, "x", series))
+        print()
+        print(ascii_chart(title, series))
+    elif args.cmd == "models":
+        from repro.models.params_fompi import PAPER_MODELS
+
+        for name, m in sorted(PAPER_MODELS.items()):
+            print(f"{name:12s} {m.name:14s} {m.domain_str()}")
+    elif args.cmd == "calibrate":
+        from repro.bench import microbench as mb
+        from repro.models.fitting import fit_affine, relative_error
+
+        sizes = [8, 512, 8192, 65536]
+        for name, fn, base, slope in (
+                ("put", mb.put_latency, 1000.0, 0.16),
+                ("get", mb.get_latency, 1900.0, 0.17)):
+            a, b = fit_affine(sizes, [fn("fompi", s) for s in sizes])
+            print(f"{name}: measured {b:.3f} ns/B + {a / 1e3:.2f} us  "
+                  f"(paper {slope} ns/B + {base / 1e3:.2f} us; "
+                  f"err {100 * relative_error(a, base):.1f}% / "
+                  f"{100 * relative_error(b, slope):.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

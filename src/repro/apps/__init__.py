@@ -1,0 +1,11 @@
+"""Application studies from the paper's Section 4.
+
+* :mod:`repro.apps.hashtable` -- distributed hashtable (4.1, Figure 7a)
+* :mod:`repro.apps.dsde`      -- dynamic sparse data exchange (4.2, Fig 7b)
+* :mod:`repro.apps.fft`       -- 3-D FFT with overlap (4.3, Figure 7c)
+* :mod:`repro.apps.milc`      -- MILC-like lattice CG proxy (4.4, Figure 8)
+
+Each app ships the same protocol in multiple transports (MPI-1 message
+passing, MPI-3 RMA, UPC where the paper compares one) so the benchmark
+harness can regenerate the corresponding figure.
+"""

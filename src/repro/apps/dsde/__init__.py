@@ -1,0 +1,20 @@
+"""Dynamic Sparse Data Exchange (paper Section 4.2, Figure 7b).
+
+Each rank picks k random targets and sends 8 bytes to each; nobody knows
+what they will receive.  The protocols (from Hoefler, Siebert, Lumsdaine,
+PPoPP'10 [15]) compared by the paper:
+
+* ``alltoall``       -- dense personalized all-to-all of p entries,
+* ``reduce_scatter`` -- reduce_scatter of a count vector, then sends,
+* ``nbx``            -- synchronous sends + nonblocking barrier (proved
+                        optimal in [15]),
+* ``rma``            -- foMPI one-sided: fetch-and-add reserves a slot in
+                        the target's window, a put delivers the payload,
+                        fence closes the epoch,
+* ``rma_cray22``     -- the same idea over Cray MPI-2.2's (slow) one-sided.
+"""
+
+from repro.apps.dsde.common import expected_incoming, make_targets
+from repro.apps.dsde.protocols import PROTOCOLS, dsde_program
+
+__all__ = ["make_targets", "expected_incoming", "PROTOCOLS", "dsde_program"]

@@ -1,0 +1,34 @@
+"""Target selection and verification for the DSDE benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.random import stream
+
+__all__ = ["make_targets", "payload_for", "expected_incoming"]
+
+
+def make_targets(seed: int, rank: int, nranks: int, k: int) -> list[int]:
+    """k distinct random targets (never self), deterministic per rank."""
+    if nranks == 1:
+        return []
+    k = min(k, nranks - 1)
+    rng = stream(seed, "dsde-targets", rank)
+    others = np.array([r for r in range(nranks) if r != rank])
+    picks = rng.choice(others, size=k, replace=False)
+    return [int(t) for t in picks]
+
+
+def payload_for(src: int, target: int) -> int:
+    """The 8-byte message value (verifiable at the receiver)."""
+    return ((src + 1) << 20) | (target + 1)
+
+
+def expected_incoming(seed: int, nranks: int, k: int) -> dict[int, list[int]]:
+    """Ground truth: rank -> sorted list of payloads it must receive."""
+    incoming: dict[int, list[int]] = {r: [] for r in range(nranks)}
+    for src in range(nranks):
+        for t in make_targets(seed, src, nranks, k):
+            incoming[t].append(payload_for(src, t))
+    return {r: sorted(v) for r, v in incoming.items()}

@@ -1,0 +1,22 @@
+"""3-D FFT with 2-D (pencil) decomposition (paper Section 4.3, Figure 7c).
+
+Three variants of the NAS-FT-style transform:
+
+* ``mpi1``        -- the "nonblocking MPI" baseline: compute every local
+  FFT, then exchange all transpose blocks at once with isend/irecv;
+* ``rma_overlap`` -- the "UPC slab" schedule over foMPI: as soon as a slab
+  of lines is transformed, its transpose blocks are put into the peers'
+  windows, overlapping the remaining computation; completion is deferred
+  to a single flush + fence ("completes the communication as late as
+  possible");
+* ``upc_overlap`` -- the same schedule through the UPC layer.
+
+The transform is numerically real (numpy FFTs, verified against
+``np.fft.fftn``); *time* is charged from a flop model so the simulated
+compute/communication ratio can be set to match the paper's scale.
+"""
+
+from repro.apps.fft.parallel import FftSpec, fft_program, gather_result
+from repro.apps.fft.decomposition import ProcessGrid
+
+__all__ = ["FftSpec", "ProcessGrid", "fft_program", "gather_result"]

@@ -1,0 +1,50 @@
+"""Pencil decomposition geometry for the 2-D-decomposed 3-D FFT."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ProcessGrid"]
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A Py x Pz grid of ranks; rank r -> (py, pz) = (r // pz, r % pz)."""
+
+    py: int
+    pz: int
+
+    @classmethod
+    def for_ranks(cls, p: int) -> "ProcessGrid":
+        """Near-square factorization with py >= pz."""
+        pz = int(math.isqrt(p))
+        while p % pz:
+            pz -= 1
+        return cls(py=p // pz, pz=pz)
+
+    @property
+    def size(self) -> int:
+        return self.py * self.pz
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        return rank // self.pz, rank % self.pz
+
+    def rank_of(self, py: int, pz: int) -> int:
+        return py * self.pz + pz
+
+    def row_group(self, rank: int) -> list[int]:
+        """Ranks sharing this rank's pz (transpose-1 partners)."""
+        _py, pz = self.coords(rank)
+        return [self.rank_of(q, pz) for q in range(self.py)]
+
+    def col_group(self, rank: int) -> list[int]:
+        """Ranks sharing this rank's py (transpose-2 partners)."""
+        py, _pz = self.coords(rank)
+        return [self.rank_of(py, q) for q in range(self.pz)]
+
+    def check_divides(self, nx: int, ny: int, nz: int) -> None:
+        if nx % self.py or ny % self.py:
+            raise ValueError(f"Py={self.py} must divide Nx={nx} and Ny={ny}")
+        if nz % self.pz or ny % self.pz:
+            raise ValueError(f"Pz={self.pz} must divide Nz={nz} and Ny={ny}")

@@ -1,0 +1,29 @@
+"""Distributed hashtable (paper Section 4.1, Figure 7a).
+
+Each rank owns a *local volume*: a fixed-size table plus an overflow heap,
+with a next-free pointer for heap allocation -- all 8-byte integer cells.
+Three implementations share this layout:
+
+* :mod:`~repro.apps.hashtable.rma_ht`  -- MPI-3 RMA: CAS into the table
+  slot, fetch-and-add on the next-free pointer, fetch-and-replace on the
+  slot's chain head (lock-free chaining, as the paper's UPC code does);
+* :mod:`~repro.apps.hashtable.upc_ht`  -- the same protocol through the
+  UPC layer's proprietary atomics;
+* :mod:`~repro.apps.hashtable.mpi1_ht` -- MPI-1 active messages: the
+  element is sent to the owner, which applies it locally; termination by
+  all-to-all notification.
+"""
+
+from repro.apps.hashtable.common import HashTableLayout, hash_key, verify_contents
+from repro.apps.hashtable.mpi1_ht import mpi1_insert_program
+from repro.apps.hashtable.rma_ht import rma_insert_program
+from repro.apps.hashtable.upc_ht import upc_insert_program
+
+__all__ = [
+    "HashTableLayout",
+    "hash_key",
+    "verify_contents",
+    "rma_insert_program",
+    "upc_insert_program",
+    "mpi1_insert_program",
+]

@@ -1,0 +1,124 @@
+"""Shared layout and verification for the distributed hashtable.
+
+Local-volume word layout (disp_unit = 8; all cells 8-byte integers):
+
+    word 0                      next-free heap cell counter (FADD target)
+    words 1 .. 2T               table: slot s = (value@1+2s, head@2+2s)
+    words 1+2T .. 1+2T+2H       overflow heap: cell i = (value, next)
+
+``head``/``next`` hold 1-based heap-cell indices (0 = nil), so a zeroed
+volume is a valid empty table.  Values are nonzero 63-bit integers; a CAS
+of 0 -> value claims an empty slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HashTableLayout", "hash_key", "random_keys", "verify_contents"]
+
+_MIX = 0x9E3779B97F4A7C15
+_M64 = (1 << 64) - 1
+
+
+def hash_key(key: int) -> int:
+    """64-bit finalizer (splitmix64-style), deterministic across ranks."""
+    z = (key + _MIX) & _M64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    return z ^ (z >> 31)
+
+
+@dataclass(frozen=True)
+class HashTableLayout:
+    """Geometry of each rank's local volume."""
+
+    table_slots: int
+    heap_cells: int
+
+    @property
+    def words(self) -> int:
+        return 1 + 2 * self.table_slots + 2 * self.heap_cells
+
+    @property
+    def nbytes(self) -> int:
+        return 8 * self.words
+
+    # -- word indices ---------------------------------------------------
+    def slot_value(self, slot: int) -> int:
+        return 1 + 2 * slot
+
+    def slot_head(self, slot: int) -> int:
+        return 2 + 2 * slot
+
+    def heap_value(self, cell: int) -> int:
+        """``cell`` is 1-based (0 = nil)."""
+        return 1 + 2 * self.table_slots + 2 * (cell - 1)
+
+    def heap_next(self, cell: int) -> int:
+        return self.heap_value(cell) + 1
+
+    # -- key placement ----------------------------------------------------
+    def place(self, key: int, nranks: int) -> tuple[int, int]:
+        """(owner rank, table slot) for a key."""
+        h = hash_key(key)
+        return (h % nranks, (h >> 20) % self.table_slots)
+
+    # -- local application (owner-side, used by MPI-1 + verification) ------
+    def insert_local(self, volume: np.ndarray, slot: int, value: int) -> None:
+        """Apply one insert to a local volume (int64 view)."""
+        vslot = self.slot_value(slot)
+        if volume[vslot] == 0:
+            volume[vslot] = value
+            return
+        cell = int(volume[0]) + 1  # 1-based heap cell
+        volume[0] += 1
+        if cell > self.heap_cells:
+            raise OverflowError("hashtable overflow heap exhausted")
+        volume[self.heap_value(cell)] = value
+        old_head = volume[self.slot_head(slot)]
+        volume[self.slot_head(slot)] = cell
+        volume[self.heap_next(cell)] = old_head
+
+    def slot_contents(self, volume: np.ndarray, slot: int) -> list[int]:
+        """All values stored under a slot (table entry + chain)."""
+        out = []
+        v = int(volume[self.slot_value(slot)])
+        if v != 0:
+            out.append(v)
+        cell = int(volume[self.slot_head(slot)])
+        while cell != 0:
+            out.append(int(volume[self.heap_value(cell)]))
+            cell = int(volume[self.heap_next(cell)])
+        return out
+
+    def all_contents(self, volume: np.ndarray) -> list[int]:
+        return [v for s in range(self.table_slots)
+                for v in self.slot_contents(volume, s)]
+
+
+def random_keys(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Nonzero 62-bit random keys (value 0 is the empty marker)."""
+    return rng.integers(1, 1 << 62, size=count, dtype=np.int64)
+
+
+def verify_contents(layout: HashTableLayout, volumes: list[np.ndarray],
+                    all_keys: list[np.ndarray]) -> None:
+    """Assert every inserted key is stored exactly once at its owner."""
+    nranks = len(volumes)
+    expected: dict[int, list[int]] = {r: [] for r in range(nranks)}
+    for keys in all_keys:
+        for k in keys:
+            owner, _slot = layout.place(int(k), nranks)
+            expected[owner].append(int(k))
+    for r, vol in enumerate(volumes):
+        stored = sorted(layout.all_contents(vol))
+        want = sorted(expected[r])
+        if stored != want:
+            missing = set(want) - set(stored)
+            extra = set(stored) - set(want)
+            raise AssertionError(
+                f"rank {r}: hashtable mismatch "
+                f"(missing {len(missing)}, extra {len(extra)})")

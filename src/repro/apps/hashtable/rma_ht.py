@@ -1,0 +1,65 @@
+"""MPI-3 RMA hashtable (the foMPI curve of Figure 7a).
+
+Insert protocol (mirrors the paper's UPC variant, with MPI-3 standard
+atomics + flushes instead of Cray intrinsics):
+
+1. CAS(table[slot].value, 0 -> key); success means the slot was empty.
+2. On collision, FADD(next_free) acquires an overflow cell; the losing
+   value is put there; a fetch-and-REPLACE on the slot's chain head links
+   the new cell in front (the returned old head becomes the cell's next
+   pointer).  All operations are one sided within one lock_all epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.hashtable.common import HashTableLayout, random_keys
+from repro.rma.enums import Op
+
+__all__ = ["rma_insert_program"]
+
+
+def rma_insert(win, layout: HashTableLayout, key: int):
+    """Insert one key (generator); returns 'table' or 'heap'."""
+    ctx = win.ctx
+    owner, slot = layout.place(key, ctx.nranks)
+    old = yield from win.compare_and_swap(np.int64(0), np.int64(key),
+                                          owner, layout.slot_value(slot))
+    if int(old) == 0:
+        return "table"
+    # Collision: acquire an overflow cell at the owner ...
+    cell0 = yield from win.fetch_and_op(np.int64(1), owner, 0, Op.SUM)
+    cell = int(cell0) + 1  # 1-based
+    if cell > layout.heap_cells:
+        raise OverflowError("hashtable overflow heap exhausted")
+    # ... publish the value, link the chain head, fix the next pointer.
+    yield from win.put(np.array([key], np.int64), owner,
+                       layout.heap_value(cell))
+    old_head = yield from win.fetch_and_op(np.int64(cell), owner,
+                                           layout.slot_head(slot), Op.REPLACE)
+    yield from win.put(np.array([int(old_head)], np.int64), owner,
+                       layout.heap_next(cell))
+    yield from win.flush(owner)
+    return "heap"
+
+
+def rma_insert_program(ctx, layout: HashTableLayout, inserts_per_rank: int,
+                       verify_box: dict | None = None):
+    """SPMD program: batch-insert random keys; returns (elapsed_ns, keys)."""
+    win = yield from ctx.rma.win_allocate(layout.nbytes, disp_unit=8)
+    keys = random_keys(ctx.rng("ht-keys"), inserts_per_rank)
+    yield from win.lock_all()
+    yield from ctx.coll.barrier()
+    t0 = ctx.now
+    for k in keys:
+        yield from rma_insert(win, layout, int(k))
+    yield from win.flush_all()
+    yield from ctx.coll.barrier()
+    elapsed = ctx.now - t0
+    yield from win.unlock_all()
+    if verify_box is not None:
+        verify_box.setdefault("volumes", {})[ctx.rank] = \
+            win.local_view(np.int64).copy()
+        verify_box.setdefault("keys", {})[ctx.rank] = keys
+    return elapsed

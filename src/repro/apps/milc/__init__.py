@@ -1,0 +1,24 @@
+"""MILC-like lattice QCD proxy (paper Section 4.4, Figure 8).
+
+su3_rmd's dominant cost is a conjugate-gradient solve whose operator is a
+4-D nearest-neighbor stencil on complex 3-vectors with (gauge-link) matrix
+weights; every iteration exchanges halos in all 8 directions and performs
+two global reductions.  This proxy preserves exactly that structure:
+
+* a Hermitian positive-definite "hopping" operator
+  ``A v(s) = (8+m) v(s) - sum_mu [ e^{i theta_mu(s)} U_mu v(s+mu)
+                                 + e^{-i theta_mu(s-mu)} U_mu^H v(s-mu) ]``
+  with per-direction unitary 3x3 matrices and deterministic per-link
+  phases (so the operator is identical for every decomposition);
+* 4-D domain decomposition with halo exchange in 8 directions;
+* the paper's three transports: MPI-1 nonblocking send/recv, foMPI RMA
+  (notify with an atomic add, then get the neighbor's packed buffer --
+  the exact scheme of the UPC MILC port), and the UPC layer.
+
+Weak scaling with a 4^3 x 8 local lattice reproduces Figure 8's shape.
+"""
+
+from repro.apps.milc.driver import MilcSpec, milc_program
+from repro.apps.milc.lattice import LatticeDecomp
+
+__all__ = ["MilcSpec", "milc_program", "LatticeDecomp"]

@@ -1,0 +1,193 @@
+"""Halo-exchange engines for the MILC proxy.
+
+The RMA scheme is the paper's (Section 4.4, after the UPC MILC port):
+
+    "A process notifies all neighbors with a separate atomic add as soon
+    as the data in the 'send' buffer is initialized.  Then all processes
+    wait for this flag before they get [...] the communication data into
+    their local buffers."
+
+Window layout (bytes): [0..8) monotone notification counter, then eight
+packed send-buffer slots (one per direction).  The counter is never reset;
+after exchange round n every rank waits for ``n * incoming`` -- this
+avoids any reset race without extra synchronization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.milc.lattice import LatticeDecomp
+from repro.rma.enums import Op
+
+__all__ = ["Mpi1Halo", "RmaHalo", "UpcHalo", "DIRECTIONS"]
+
+DIRECTIONS = [(dim, side) for dim in range(4) for side in (-1, +1)]
+_POLL_NS = 400
+
+
+def _slot_offsets(decomp: LatticeDecomp) -> tuple[dict, int]:
+    """Byte offsets of the 8 send slots (after the 64-byte header)."""
+    offs = {}
+    cur = 64
+    for dim, side in DIRECTIONS:
+        offs[(dim, side)] = cur
+        cur += decomp.face_bytes(dim)
+    return offs, cur
+
+
+class _HaloBase:
+    def __init__(self, ctx, decomp: LatticeDecomp) -> None:
+        self.ctx = ctx
+        self.decomp = decomp
+        self.rank = ctx.rank
+        self.remote_dirs = [(dim, side) for dim, side in DIRECTIONS
+                            if decomp.pgrid[dim] > 1]
+        self.rounds = 0
+
+    def _local_wrap(self, op, padded) -> None:
+        """Periodic wraparound for undecomposed dimensions."""
+        for dim in range(4):
+            if self.decomp.pgrid[dim] == 1:
+                op.set_halo(padded, dim, +1, op.face(padded, dim, -1))
+                op.set_halo(padded, dim, -1, op.face(padded, dim, +1))
+
+
+class Mpi1Halo(_HaloBase):
+    """Nonblocking send/recv per direction, waitall, install."""
+
+    def setup(self):
+        return
+        yield  # pragma: no cover
+
+    def exchange(self, op, padded):
+        ctx = self.ctx
+        self._local_wrap(op, padded)
+        self.rounds += 1
+        tagbase = self.rounds * 16
+        recvs = {}
+        sends = []
+        # Pack cost: MILC's MPI path serializes faces into send buffers
+        # just like the UPC/RMA paths do (paper Section 4.4).
+        yield from ctx.compute(
+            sum(self.decomp.face_bytes(d) for d, _ in self.remote_dirs)
+            * 0.154)
+        for dim, side in self.remote_dirs:
+            peer = self.decomp.neighbor(self.rank, dim, side)
+            # my (dim, side) halo comes from that neighbor's opposite face
+            tag = tagbase + dim * 2 + (0 if side < 0 else 1)
+            recvs[(dim, side)] = ctx.mpi.irecv(peer, tag=tag, channel="milc")
+        for dim, side in self.remote_dirs:
+            peer = self.decomp.neighbor(self.rank, dim, side)
+            # the tag encodes the direction *at the receiver*: my low face
+            # fills their high halo
+            tag = tagbase + dim * 2 + (0 if side > 0 else 1)
+            face = op.face(padded, dim, side)
+            r = yield from ctx.mpi.isend(peer, face, tag=tag, channel="milc")
+            sends.append(r)
+        for (dim, side), req in recvs.items():
+            data = yield from req.wait()
+            op.set_halo(padded, dim, side, data)
+        for r in sends:
+            yield from r.wait()
+
+
+class RmaHalo(_HaloBase):
+    """foMPI get-based exchange with atomic-add notification."""
+
+    def __init__(self, ctx, decomp: LatticeDecomp) -> None:
+        super().__init__(ctx, decomp)
+        self.offsets, self.win_bytes = _slot_offsets(decomp)
+        self.win = None
+
+    def setup(self):
+        self.win = yield from self.ctx.rma.win_allocate(self.win_bytes)
+        yield from self.win.lock_all()
+
+    def teardown(self):
+        yield from self.win.unlock_all()
+
+    def exchange(self, op, padded):
+        ctx = self.ctx
+        win = self.win
+        self._local_wrap(op, padded)
+        self.rounds += 1
+        # 1. pack all faces into my window's send slots (local stores)
+        view = win.local_view(np.uint8)
+        for dim, side in self.remote_dirs:
+            face = op.face(padded, dim, side)
+            off = self.offsets[(dim, side)]
+            view[off:off + face.nbytes] = face.view(np.uint8).ravel()
+        yield from ctx.compute(
+            sum(self.decomp.face_bytes(d) for d, _ in self.remote_dirs)
+            * 0.154)  # pack memcpy
+        yield from win.sync()
+        # 2. notify every neighbor with a separate atomic add
+        for dim, side in self.remote_dirs:
+            peer = self.decomp.neighbor(self.rank, dim, side)
+            yield from win.accumulate(np.array([1], np.int64), peer, 0,
+                                      Op.SUM)
+        # 3. wait until all neighbors of this round notified me
+        expected = self.rounds * len(self.remote_dirs)
+        flag = win.local_view(np.int64)
+        while int(flag[0]) < expected:
+            yield ctx.env.timeout(_POLL_NS)
+        # 4. get each neighbor's opposite face, as late as possible
+        outs = {}
+        for dim, side in self.remote_dirs:
+            peer = self.decomp.neighbor(self.rank, dim, side)
+            nbytes = self.decomp.face_bytes(dim)
+            src_off = self.offsets[(dim, -side)]  # their opposite slot
+            out = np.empty(nbytes, dtype=np.uint8)
+            yield from win.get(out, peer, src_off)
+            outs[(dim, side)] = out
+        yield from win.flush_all()
+        for (dim, side), raw in outs.items():
+            op.set_halo(padded, dim, side, raw.view(np.complex128))
+
+
+class UpcHalo(_HaloBase):
+    """The original UPC scheme (aadd + upc_memget_nb + fence)."""
+
+    def __init__(self, ctx, decomp: LatticeDecomp) -> None:
+        super().__init__(ctx, decomp)
+        self.offsets, self.win_bytes = _slot_offsets(decomp)
+        self.arr = None
+
+    def setup(self):
+        self.arr = yield from self.ctx.upc.all_alloc(self.win_bytes)
+
+    def exchange(self, op, padded):
+        ctx = self.ctx
+        arr = self.arr
+        self._local_wrap(op, padded)
+        self.rounds += 1
+        view = arr.local_view(np.uint8)
+        for dim, side in self.remote_dirs:
+            face = op.face(padded, dim, side)
+            off = self.offsets[(dim, side)]
+            view[off:off + face.nbytes] = face.view(np.uint8).ravel()
+        yield from ctx.compute(
+            sum(self.decomp.face_bytes(d) for d, _ in self.remote_dirs)
+            * 0.154)
+        for dim, side in self.remote_dirs:
+            peer = self.decomp.neighbor(self.rank, dim, side)
+            yield from ctx.upc.aadd_nb(arr, peer, 0, 1)
+        expected = self.rounds * len(self.remote_dirs)
+        flag = arr.local_view(np.int64)
+        while int(flag[0]) < expected:
+            yield ctx.env.timeout(_POLL_NS)
+        outs = {}
+        handles = []
+        for dim, side in self.remote_dirs:
+            peer = self.decomp.neighbor(self.rank, dim, side)
+            nbytes = self.decomp.face_bytes(dim)
+            out = np.empty(nbytes, dtype=np.uint8)
+            h = yield from ctx.upc.memget_nb(arr, peer,
+                                             self.offsets[(dim, -side)],
+                                             nbytes, out)
+            handles.append(h)
+            outs[(dim, side)] = out
+        yield from ctx.upc.fence()
+        for (dim, side), raw in outs.items():
+            op.set_halo(padded, dim, side, raw.view(np.complex128))

@@ -1,0 +1,105 @@
+"""4-D lattice decomposition and halo geometry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatticeDecomp", "factorize4"]
+
+
+def factorize4(p: int) -> tuple[int, int, int, int]:
+    """Split p into 4 near-equal factors (largest primes spread first)."""
+    dims = [1, 1, 1, 1]
+    n = p
+    f = 2
+    primes = []
+    while f * f <= n:
+        while n % f == 0:
+            primes.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        primes.append(n)
+    for q in sorted(primes, reverse=True):
+        dims.sort()
+        dims[0] *= q
+    dims.sort(reverse=True)
+    return tuple(dims)  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class LatticeDecomp:
+    """Process grid + local lattice geometry (weak scaling: the local
+    volume is fixed; global dims are local * pgrid)."""
+
+    local: tuple[int, int, int, int]
+    pgrid: tuple[int, int, int, int]
+
+    @classmethod
+    def weak(cls, local: tuple[int, int, int, int], p: int) -> "LatticeDecomp":
+        return cls(local=local, pgrid=factorize4(p))
+
+    @property
+    def nranks(self) -> int:
+        a, b, c, d = self.pgrid
+        return a * b * c * d
+
+    @property
+    def global_dims(self) -> tuple[int, ...]:
+        return tuple(l * g for l, g in zip(self.local, self.pgrid))
+
+    @property
+    def local_sites(self) -> int:
+        a, b, c, d = self.local
+        return a * b * c * d
+
+    def coords(self, rank: int) -> tuple[int, int, int, int]:
+        g = self.pgrid
+        c3 = rank % g[3]
+        c2 = (rank // g[3]) % g[2]
+        c1 = (rank // (g[3] * g[2])) % g[1]
+        c0 = rank // (g[3] * g[2] * g[1])
+        return (c0, c1, c2, c3)
+
+    def rank_of(self, coords) -> int:
+        g = self.pgrid
+        c = [x % gg for x, gg in zip(coords, g)]
+        return ((c[0] * g[1] + c[1]) * g[2] + c[2]) * g[3] + c[3]
+
+    def neighbor(self, rank: int, dim: int, step: int) -> int:
+        c = list(self.coords(rank))
+        c[dim] += step
+        return self.rank_of(c)
+
+    def origin(self, rank: int) -> tuple[int, ...]:
+        """Global coordinate of this rank's local (0,0,0,0) site."""
+        return tuple(c * l for c, l in zip(self.coords(rank), self.local))
+
+    def face_sites(self, dim: int) -> int:
+        return self.local_sites // self.local[dim]
+
+    def face_bytes(self, dim: int, words_per_site: int = 3) -> int:
+        return self.face_sites(dim) * words_per_site * 16  # complex128
+
+
+def link_phases(decomp: LatticeDecomp, rank: int) -> np.ndarray:
+    """Deterministic per-link phases theta_mu(s) on the *padded* local
+    lattice, computed directly from global coordinates (identical for
+    every decomposition, so results are decomposition-independent).
+
+    Shape: (4, l0+2, l1+2, l2+2, l3+2).
+    """
+    l = decomp.local
+    gd = decomp.global_dims
+    org = decomp.origin(rank)
+    coords = [((np.arange(-1, l[d] + 1) + org[d]) % gd[d])
+              for d in range(4)]
+    x0, x1, x2, x3 = np.meshgrid(*coords, indexing="ij")
+    out = np.empty((4,) + tuple(n + 2 for n in l))
+    for mu in range(4):
+        h = (x0 * 73856093 ^ x1 * 19349663 ^ x2 * 83492791
+             ^ x3 * 2654435761 ^ (mu + 1) * 40503) & 0xFFFF
+        out[mu] = 2.0 * np.pi * h / 65536.0
+    return out

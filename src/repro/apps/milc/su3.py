@@ -1,0 +1,119 @@
+"""The SU(3)-like stencil operator and field generation.
+
+Fields are complex 3-vectors on a halo-padded local lattice
+(shape ``(l0+2, l1+2, l2+2, l3+2, 3)``); the operator applies one 3x3
+unitary per direction with deterministic per-link phases.  Hermiticity and
+positive definiteness (mass > 0) are what CG needs -- verified by the
+property tests in tests/apps/test_milc.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.milc.lattice import LatticeDecomp, link_phases
+
+__all__ = ["direction_matrices", "make_source", "StencilOperator",
+           "local_dot", "flops_per_site"]
+
+#: Dslash-like arithmetic per site (8 matrix-vector products + sums),
+#: used by the simulated-compute charge.
+def flops_per_site() -> int:
+    # 8 dirs * (3x3 complex mat-vec: 36 cmul + 30 cadd ~ 66 * 4 flops
+    # per complex op) + vector updates.
+    return 8 * 66 * 4 + 100
+
+
+def direction_matrices(seed: int) -> np.ndarray:
+    """Four deterministic unitary 3x3 matrices (QR of a random complex)."""
+    rng = np.random.default_rng(seed ^ 0x5353_5533)
+    out = np.empty((4, 3, 3), dtype=np.complex128)
+    for mu in range(4):
+        m = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+        q, r = np.linalg.qr(m)
+        # Fix the phase so the decomposition is unique/deterministic.
+        q = q * (np.conj(np.diagonal(r)) / np.abs(np.diagonal(r)))
+        out[mu] = q
+    return out
+
+
+def make_source(decomp: LatticeDecomp, rank: int, seed: int) -> np.ndarray:
+    """Deterministic b(s) from *global* coordinates (interior only)."""
+    l = decomp.local
+    org = decomp.origin(rank)
+    coords = [np.arange(l[d]) + org[d] for d in range(4)]
+    x0, x1, x2, x3 = np.meshgrid(*coords, indexing="ij")
+    h = (x0 * 2246822519 ^ x1 * 3266489917 ^ x2 * 668265263
+         ^ x3 * 374761393 ^ seed) & 0xFFFFFF
+    base = h / float(1 << 24)
+    out = np.empty(tuple(l) + (3,), dtype=np.complex128)
+    for c in range(3):
+        out[..., c] = np.sin(base * (c + 1) * 6.28) + 1j * np.cos(
+            base * (c + 2) * 3.14)
+    return out
+
+
+class StencilOperator:
+    """A = (8 + mass) I - hopping terms; acts on padded fields."""
+
+    def __init__(self, decomp: LatticeDecomp, rank: int, mass: float,
+                 seed: int) -> None:
+        self.decomp = decomp
+        self.rank = rank
+        self.mass = mass
+        self.U = direction_matrices(seed)
+        theta = link_phases(decomp, rank)
+        self.phase = np.exp(1j * theta)          # e^{i theta_mu(s)}, padded
+        self.l = decomp.local
+
+    def padded(self, interior: np.ndarray) -> np.ndarray:
+        """Allocate a halo-padded field holding ``interior``."""
+        l = self.l
+        out = np.zeros((l[0] + 2, l[1] + 2, l[2] + 2, l[3] + 2, 3),
+                       dtype=np.complex128)
+        out[1:-1, 1:-1, 1:-1, 1:-1, :] = interior
+        return out
+
+    @staticmethod
+    def interior(padded: np.ndarray) -> np.ndarray:
+        return padded[1:-1, 1:-1, 1:-1, 1:-1, :]
+
+    # -- halo faces -------------------------------------------------------
+    def face(self, padded: np.ndarray, dim: int, side: int) -> np.ndarray:
+        """The interior face a neighbor needs (side -1: low, +1: high)."""
+        sl = [slice(1, -1)] * 4 + [slice(None)]
+        sl[dim] = slice(1, 2) if side < 0 else slice(-2, -1)
+        return np.ascontiguousarray(padded[tuple(sl)])
+
+    def set_halo(self, padded: np.ndarray, dim: int, side: int,
+                 data: np.ndarray) -> None:
+        """Install a received face into the halo (side -1: low halo)."""
+        sl = [slice(1, -1)] * 4 + [slice(None)]
+        sl[dim] = slice(0, 1) if side < 0 else slice(-1, None)
+        padded[tuple(sl)] = data.reshape(padded[tuple(sl)].shape)
+
+    # -- the operator ------------------------------------------------------
+    def apply(self, padded: np.ndarray) -> np.ndarray:
+        """A v on the interior; halos of ``padded`` must be current."""
+        v = padded
+        out = (8.0 + self.mass) * self.interior(v).copy()
+        for mu in range(4):
+            plus = [slice(1, -1)] * 4
+            minus = [slice(1, -1)] * 4
+            plus[mu] = slice(2, None)
+            minus[mu] = slice(0, -2)
+            ph_int = self.phase[mu][1:-1, 1:-1, 1:-1, 1:-1]
+            ph_minus_idx = [slice(1, -1)] * 4
+            ph_minus_idx[mu] = slice(0, -2)
+            ph_m = self.phase[mu][tuple(ph_minus_idx)]
+            fwd = np.einsum("ij,...j->...i", self.U[mu],
+                            v[tuple(plus) + (slice(None),)])
+            bwd = np.einsum("ji,...j->...i", np.conj(self.U[mu]),
+                            v[tuple(minus) + (slice(None),)])
+            out -= ph_int[..., None] * fwd + np.conj(ph_m)[..., None] * bwd
+        return out
+
+
+def local_dot(a: np.ndarray, b: np.ndarray) -> complex:
+    """<a, b> over interior fields."""
+    return complex(np.vdot(a, b))

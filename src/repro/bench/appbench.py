@@ -1,0 +1,74 @@
+"""Application benchmark drivers: Figures 7a/7b/7c and 8.
+
+Scale policy (see DESIGN.md): the drivers execute the real protocols in
+simulation up to O(100) ranks; the figure harnesses in ``benchmarks/``
+extend the curves with the calibrated analytic models where the paper's
+axes go far beyond that, and label the mode.
+"""
+
+from __future__ import annotations
+
+from repro.apps.dsde import dsde_program
+from repro.apps.fft import FftSpec, fft_program
+from repro.apps.hashtable import (
+    HashTableLayout,
+    mpi1_insert_program,
+    rma_insert_program,
+    upc_insert_program,
+)
+from repro.apps.milc import MilcSpec, milc_program
+from repro.config import MachineConfig
+from repro.runtime.job import run_spmd
+
+__all__ = ["hashtable_rate", "dsde_time_us", "fft_gflops", "milc_time_s",
+           "HT_PROGRAMS"]
+
+HT_PROGRAMS = {
+    "fompi": rma_insert_program,
+    "upc": upc_insert_program,
+    "mpi1": mpi1_insert_program,
+}
+
+
+def _machine(ranks_per_node: int) -> MachineConfig:
+    return MachineConfig(ranks_per_node=ranks_per_node)
+
+
+def hashtable_rate(variant: str, p: int, inserts_per_rank: int = 64, *,
+                   ranks_per_node: int = 32,
+                   table_slots: int = 64) -> float:
+    """Aggregate inserts/second (Figure 7a's y axis)."""
+    layout = HashTableLayout(table_slots=table_slots,
+                             heap_cells=max(64, 4 * inserts_per_rank))
+    res = run_spmd(HT_PROGRAMS[variant], p, layout, inserts_per_rank,
+                   machine=_machine(ranks_per_node))
+    worst = max(res.returns)
+    return p * inserts_per_rank / (worst / 1e9)
+
+
+def dsde_time_us(protocol: str, p: int, k: int = 6, *,
+                 ranks_per_node: int = 32) -> float:
+    """Time of one complete dynamic sparse data exchange (Figure 7b)."""
+    res = run_spmd(dsde_program, p, protocol, k,
+                   machine=_machine(ranks_per_node))
+    return max(t for t, _ in res.returns) / 1e3
+
+
+def fft_gflops(variant: str, p: int, spec: FftSpec | None = None, *,
+               ranks_per_node: int = 32) -> float:
+    """3-D FFT performance (Figure 7c's y axis)."""
+    spec = spec or FftSpec(nx=32, ny=32, nz=32, flop_rate=1.2e10, chunks=4)
+    res = run_spmd(fft_program, p, spec, variant,
+                   machine=_machine(ranks_per_node))
+    return min(g for _t, g in res.returns)
+
+
+def milc_time_s(variant: str, p: int, spec: MilcSpec | None = None, *,
+                ranks_per_node: int = 32) -> float:
+    """MILC proxy completion time in simulated seconds (Figure 8's y axis,
+    scaled: the paper runs many trajectories; we run one fixed-iteration
+    CG solve and weak-scale it)."""
+    spec = spec or MilcSpec(maxiter=25, tol=0.0)
+    res = run_spmd(milc_program, p, spec, variant,
+                   machine=_machine(ranks_per_node))
+    return max(e for e, *_ in res.returns) / 1e9

@@ -1,0 +1,73 @@
+"""Series containers and plain-text reporting for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "format_table", "format_series_table", "geomean"]
+
+
+@dataclass
+class Series:
+    """One labeled curve: (x, y) points plus free-form metadata."""
+
+    label: str
+    xs: list = field(default_factory=list)
+    ys: list = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def add(self, x, y) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def as_dict(self) -> dict:
+        return {"label": self.label, "xs": list(self.xs), "ys": list(self.ys),
+                **self.meta}
+
+
+def geomean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Fixed-width table (the harness prints these for every figure)."""
+    cols = [headers] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(str(r[i])) for r in cols) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c).rjust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(title: str, x_label: str,
+                        series: list[Series]) -> str:
+    """Merge several series on a shared x axis into one table."""
+    xs = sorted({x for s in series for x in s.xs})
+    headers = [x_label] + [s.label for s in series]
+    rows = []
+    for x in xs:
+        row: list = [x]
+        for s in series:
+            try:
+                row.append(s.ys[s.xs.index(x)])
+            except ValueError:
+                row.append("")
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)

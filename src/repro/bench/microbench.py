@@ -1,0 +1,352 @@
+"""Microbenchmark drivers: Figures 4 (latency), 5 (overlap, message rate)
+and 6a (atomics).
+
+Methodology mirrors the paper's (Section 3): each driver times the
+operation across repetitions on a 2-rank job and reports the per-operation
+time in nanoseconds of *simulated* time.  All RMA latencies include remote
+completion (put+flush) but no synchronization, exactly as the paper
+defines them; MPI-1 latency is the classic ping-pong half round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.runtime.job import run_spmd
+from repro.rma.cray22 import win_allocate_cray22
+from repro.rma.enums import Op
+
+__all__ = [
+    "INTER_2", "INTRA_2",
+    "put_latency", "get_latency",
+    "message_rate", "overlap_fraction",
+    "atomic_latency",
+    "LATENCY_TRANSPORTS",
+]
+
+INTER_2 = MachineConfig(ranks_per_node=1)    # 2 ranks on 2 nodes
+INTRA_2 = MachineConfig(ranks_per_node=32)   # 2 ranks on 1 node
+
+LATENCY_TRANSPORTS = ("fompi", "upc", "caf", "mpi1", "cray22")
+
+
+def _machine(intra: bool) -> MachineConfig:
+    return INTRA_2 if intra else INTER_2
+
+
+# ---------------------------------------------------------------------------
+# latency (Figure 4)
+# ---------------------------------------------------------------------------
+def put_latency(transport: str, nbytes: int, *, intra: bool = False,
+                reps: int = 8) -> float:
+    """Per-put latency (ns) including remote completion."""
+    return _latency(transport, nbytes, "put", intra, reps)
+
+
+def get_latency(transport: str, nbytes: int, *, intra: bool = False,
+                reps: int = 8) -> float:
+    """Per-get latency (ns)."""
+    return _latency(transport, nbytes, "get", intra, reps)
+
+
+def _latency(transport: str, nbytes: int, direction: str, intra: bool,
+             reps: int) -> float:
+    size = max(nbytes, 8)
+    data = np.ones(nbytes, dtype=np.uint8)
+
+    if transport == "fompi":
+        def program(ctx):
+            win = yield from ctx.rma.win_allocate(size)
+            yield from win.lock_all()
+            yield from ctx.coll.barrier()
+            dt = None
+            if ctx.rank == 0:
+                out = np.zeros(nbytes, np.uint8)
+                t0 = ctx.now
+                for _ in range(reps):
+                    if direction == "put":
+                        yield from win.put(data, 1, 0)
+                    else:
+                        yield from win.get(out, 1, 0)
+                    yield from win.flush(1)
+                dt = (ctx.now - t0) / reps
+            yield from win.unlock_all()
+            yield from ctx.coll.barrier()
+            return dt
+    elif transport == "upc":
+        def program(ctx):
+            arr = yield from ctx.upc.all_alloc(size)
+            yield from ctx.upc.barrier()
+            dt = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(reps):
+                    if direction == "put":
+                        yield from ctx.upc.memput(arr, 1, 0, data)
+                        yield from ctx.upc.fence()
+                    else:
+                        yield from ctx.upc.memget(arr, 1, 0, nbytes)
+                dt = (ctx.now - t0) / reps
+            yield from ctx.upc.barrier()
+            return dt
+    elif transport == "caf":
+        def program(ctx):
+            co = yield from ctx.caf.coarray_alloc(size)
+            yield from ctx.caf.sync_all()
+            dt = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(reps):
+                    if direction == "put":
+                        yield from ctx.caf.assign(co, 1, 0, data)
+                        yield from ctx.caf.sync_memory()
+                    else:
+                        yield from ctx.caf.read(co, 1, 0, nbytes)
+                dt = (ctx.now - t0) / reps
+            yield from ctx.caf.sync_all()
+            return dt
+    elif transport == "cray22":
+        def program(ctx):
+            win = yield from win_allocate_cray22(ctx, size)
+            yield from ctx.coll.barrier()
+            dt = None
+            if ctx.rank == 0:
+                out = np.zeros(nbytes, np.uint8)
+                t0 = ctx.now
+                for _ in range(reps):
+                    if direction == "put":
+                        yield from win.put(data, 1, 0)
+                        yield from win.flush(1)
+                    else:
+                        yield from win.get(out, 1, 0)
+                dt = (ctx.now - t0) / reps
+            yield from ctx.coll.barrier()
+            return dt
+    elif transport == "mpi1":
+        # Ping-pong half round trip: send/recv implies remote synchronization.
+        def program(ctx):
+            yield from ctx.coll.barrier()
+            dt = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(reps):
+                    yield from ctx.mpi.send(1, data)
+                    yield from ctx.mpi.recv(1)
+                dt = (ctx.now - t0) / (2 * reps)
+            else:
+                for _ in range(reps):
+                    got = yield from ctx.mpi.recv(0)
+                    yield from ctx.mpi.send(0, got)
+            yield from ctx.coll.barrier()
+            return dt
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+
+    res = run_spmd(program, 2, machine=_machine(intra))
+    return float(res.returns[0])
+
+
+# ---------------------------------------------------------------------------
+# message rate (Figures 5b/5c)
+# ---------------------------------------------------------------------------
+def message_rate(transport: str, nbytes: int, *, intra: bool = False,
+                 nmsgs: int = 1000) -> float:
+    """Sustained message injection rate in messages/second (simulated):
+    nmsgs operations started without synchronization, one completion."""
+    data = np.ones(nbytes, dtype=np.uint8)
+    size = max(nbytes, 8) * 2
+
+    if transport == "fompi":
+        def program(ctx):
+            win = yield from ctx.rma.win_allocate(size)
+            yield from win.lock_all()
+            yield from ctx.coll.barrier()
+            rate = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(nmsgs):
+                    yield from win.put(data, 1, 0)
+                rate = nmsgs / max(1e-9, (ctx.now - t0) / 1e9)
+            yield from win.unlock_all()
+            yield from ctx.coll.barrier()
+            return rate
+    elif transport == "upc":
+        def program(ctx):
+            arr = yield from ctx.upc.all_alloc(size)
+            yield from ctx.upc.barrier()
+            rate = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(nmsgs):
+                    yield from ctx.upc.memput_nb(arr, 1, 0, data)
+                rate = nmsgs / max(1e-9, (ctx.now - t0) / 1e9)
+            yield from ctx.upc.barrier()
+            return rate
+    elif transport == "caf":
+        def program(ctx):
+            co = yield from ctx.caf.coarray_alloc(size)
+            yield from ctx.caf.sync_all()
+            rate = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(nmsgs):
+                    yield from ctx.caf.assign_nb(co, 1, 0, data)
+                rate = nmsgs / max(1e-9, (ctx.now - t0) / 1e9)
+            yield from ctx.caf.sync_all()
+            return rate
+    elif transport == "cray22":
+        def program(ctx):
+            win = yield from win_allocate_cray22(ctx, size)
+            yield from ctx.coll.barrier()
+            rate = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(nmsgs):
+                    yield from win.put(data, 1, 0)
+                rate = nmsgs / max(1e-9, (ctx.now - t0) / 1e9)
+            yield from ctx.coll.barrier()
+            return rate
+    elif transport == "mpi1":
+        def program(ctx):
+            yield from ctx.coll.barrier()
+            rate = None
+            if ctx.rank == 0:
+                reqs = []
+                t0 = ctx.now
+                for i in range(nmsgs):
+                    r = yield from ctx.mpi.isend(1, data, tag=i)
+                    reqs.append(r)
+                rate = nmsgs / max(1e-9, (ctx.now - t0) / 1e9)
+                for r in reqs:
+                    yield from r.wait()
+            else:
+                for i in range(nmsgs):
+                    yield from ctx.mpi.recv(0, tag=i)
+            yield from ctx.coll.barrier()
+            return rate
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+
+    res = run_spmd(program, 2, machine=_machine(intra))
+    return float(res.returns[0])
+
+
+# ---------------------------------------------------------------------------
+# overlap (Figure 5a)
+# ---------------------------------------------------------------------------
+def overlap_fraction(transport: str, nbytes: int, *, intra: bool = False) -> float:
+    """Fraction of communication time hideable behind computation.
+
+    The paper's method: calibrate a compute loop slightly longer than the
+    communication latency, interleave it between start and completion, and
+    compute overlap from the three times.
+    """
+    comm = put_latency(transport, nbytes, intra=intra, reps=4)
+    comp = comm * 1.15
+    data = np.ones(nbytes, dtype=np.uint8)
+    size = max(nbytes, 8)
+
+    if transport == "fompi":
+        def program(ctx):
+            win = yield from ctx.rma.win_allocate(size)
+            yield from win.lock_all()
+            yield from ctx.coll.barrier()
+            total = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                yield from win.put(data, 1, 0)
+                yield from ctx.compute(comp)
+                yield from win.flush(1)
+                total = ctx.now - t0
+            yield from win.unlock_all()
+            yield from ctx.coll.barrier()
+            return total
+    elif transport == "upc":
+        def program(ctx):
+            arr = yield from ctx.upc.all_alloc(size)
+            yield from ctx.upc.barrier()
+            total = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                yield from ctx.upc.memput_nb(arr, 1, 0, data)
+                yield from ctx.compute(comp)
+                yield from ctx.upc.fence()
+                total = ctx.now - t0
+            yield from ctx.upc.barrier()
+            return total
+    elif transport == "cray22":
+        def program(ctx):
+            win = yield from win_allocate_cray22(ctx, size)
+            yield from ctx.coll.barrier()
+            total = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                yield from win.put(data, 1, 0)
+                yield from ctx.compute(comp)
+                yield from win.flush(1)
+                total = ctx.now - t0
+            yield from ctx.coll.barrier()
+            return total
+    else:
+        raise ValueError(f"overlap benchmark defined for fompi/upc/cray22")
+
+    res = run_spmd(program, 2, machine=_machine(intra))
+    total = float(res.returns[0])
+    overlapped = comm + comp - total
+    return max(0.0, min(1.0, overlapped / comm))
+
+
+# ---------------------------------------------------------------------------
+# atomics (Figure 6a)
+# ---------------------------------------------------------------------------
+def atomic_latency(kind: str, nelems: int, *, reps: int = 4) -> float:
+    """Latency (ns) of an atomic accumulate of ``nelems`` 8-byte elements.
+
+    Kinds: 'fompi_sum' (NIC stream), 'fompi_min' (software fallback),
+    'fompi_cas', 'upc_aadd', 'upc_cas'.
+    """
+    if kind.startswith("fompi"):
+        op = {"fompi_sum": Op.SUM, "fompi_min": Op.MIN}.get(kind)
+
+        def program(ctx):
+            win = yield from ctx.rma.win_allocate(max(64, nelems * 8),
+                                                  disp_unit=8)
+            yield from win.lock_all()
+            yield from ctx.coll.barrier()
+            dt = None
+            if ctx.rank == 0:
+                vals = np.ones(nelems, dtype=np.int64)
+                t0 = ctx.now
+                for _ in range(reps):
+                    if kind == "fompi_cas":
+                        yield from win.compare_and_swap(
+                            np.int64(0), np.int64(1), 1, 0)
+                    else:
+                        yield from win.accumulate(vals, 1, 0, op)
+                        yield from win.flush(1)
+                dt = (ctx.now - t0) / reps
+            yield from win.unlock_all()
+            yield from ctx.coll.barrier()
+            return dt
+    elif kind.startswith("upc"):
+        def program(ctx):
+            arr = yield from ctx.upc.all_alloc(max(64, nelems * 8))
+            yield from ctx.upc.barrier()
+            dt = None
+            if ctx.rank == 0:
+                t0 = ctx.now
+                for _ in range(reps):
+                    for e in range(nelems):
+                        if kind == "upc_aadd":
+                            yield from ctx.upc.aadd(arr, 1, e, 1)
+                        else:
+                            yield from ctx.upc.cas(arr, 1, e, 0, 1)
+                dt = (ctx.now - t0) / reps
+            yield from ctx.upc.barrier()
+            return dt
+    else:
+        raise ValueError(f"unknown atomic kind {kind!r}")
+
+    res = run_spmd(program, 2, machine=INTER_2)
+    return float(res.returns[0])

@@ -1,0 +1,88 @@
+"""Global configuration dataclasses.
+
+`MachineConfig` describes the simulated machine (a Cray-XE6-like system by
+default: 32 cores per node, 3-D torus).  `SimConfig` controls simulation
+determinism and safety limits.  Timing constants for the network and the
+individual transports live in :mod:`repro.machine.params` — this module only
+holds the structural knobs shared by every layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Structural description of the simulated machine.
+
+    Attributes
+    ----------
+    ranks_per_node:
+        Number of MPI processes placed on each node (Blue Waters XE6 nodes
+        have 4 x 8-core Interlagos sockets; the paper runs 32 ranks/node).
+    torus_shape:
+        Shape of the 3-D torus.  ``None`` derives a near-cubic torus large
+        enough for the requested number of nodes.
+    cpu_ghz:
+        Core clock used to convert instruction counts to nanoseconds.
+    """
+
+    ranks_per_node: int = 32
+    torus_shape: tuple[int, int, int] | None = None
+    cpu_ghz: float = 2.3
+
+    def nodes_for(self, nranks: int) -> int:
+        """Number of nodes needed to host ``nranks`` processes."""
+        return max(1, math.ceil(nranks / self.ranks_per_node))
+
+    def derive_torus(self, nranks: int) -> tuple[int, int, int]:
+        """Torus shape hosting ``nranks`` ranks (near-cubic, min volume)."""
+        if self.torus_shape is not None:
+            return self.torus_shape
+        nodes = self.nodes_for(nranks)
+        # Near-cubic torus: smallest x >= y >= z with x*y*z >= nodes.
+        z = max(1, round(nodes ** (1.0 / 3.0)))
+        while z > 1 and nodes % 1 and False:  # pragma: no cover - guard
+            z -= 1
+        z = max(1, int(nodes ** (1.0 / 3.0)))
+        y = max(1, int(math.sqrt(max(1, nodes // max(1, z)))))
+        x = math.ceil(nodes / (y * z))
+        while x * y * z < nodes:
+            x += 1
+        return (x, y, z)
+
+    def instructions_to_ns(self, instructions: float) -> float:
+        """Convert an instruction count to nanoseconds at ~1 IPC."""
+        return instructions / self.cpu_ghz
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulation determinism and safety limits.
+
+    Attributes
+    ----------
+    seed:
+        Master seed; all stochastic choices (symmetric-heap addresses,
+        random keys in applications, backoff jitter) derive from it.
+    max_events:
+        Hard cap on processed events -- a runaway-protocol backstop.
+    trace:
+        Record an event trace (slower; used by tests and debugging).
+    """
+
+    seed: int = 0xF0_3131  # "fo" MPI-3.1 :-)
+    max_events: int = 200_000_000
+    trace: bool = False
+
+
+@dataclass
+class RunResult:
+    """Result of one SPMD run: per-rank return values plus counters."""
+
+    returns: list
+    sim_time_ns: int
+    events_processed: int
+    stats: dict = field(default_factory=dict)

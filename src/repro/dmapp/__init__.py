@@ -1,0 +1,13 @@
+"""DMAPP-like RDMA substrate (inter-node path).
+
+Mirrors the surface of Cray's Distributed Memory Application API that the
+paper builds on: registered-memory put/get in blocking, explicit-nonblocking
+(handle) and implicit-nonblocking (bulk ``gsync`` completion) flavors, plus
+8-byte atomic memory operations (AMOs) and a streaming AMO used by foMPI's
+accelerated accumulates.
+"""
+
+from repro.dmapp.amo import AMO_OPS, amo_supported
+from repro.dmapp.api import DmappEndpoint, DmappHandle
+
+__all__ = ["DmappEndpoint", "DmappHandle", "AMO_OPS", "amo_supported"]

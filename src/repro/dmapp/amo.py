@@ -1,0 +1,24 @@
+"""The DMAPP atomic-operation set.
+
+Gemini's NIC executes a limited set of 64-bit integer atomics.  foMPI maps
+MPI accumulate operations onto these when possible ("many common integer
+operations on 8 Byte data") and falls back to a lock-get-modify-put
+software protocol otherwise (paper Section 2.4) -- e.g. for MPI_MIN in
+Figure 6a, or for any floating-point reduction.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AMO_OPS", "amo_supported"]
+
+#: Ops the simulated NIC AMO engine accelerates (subset of MPI_Op space).
+AMO_OPS = frozenset({"add", "and", "or", "xor", "replace", "cas"})
+
+
+def amo_supported(op: str, nbytes: int) -> bool:
+    """True when (op, operand size) can run on the NIC AMO engine.
+
+    DMAPP AMOs always operate on 8 bytes; anything else takes the
+    software fallback path.
+    """
+    return op in AMO_OPS and nbytes == 8

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+The RMA errors mirror the MPI error classes that the paper's protocols can
+raise (epoch misuse, lock misuse, out-of-range accesses); the simulation
+errors flag misuse of the DES kernel itself.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while coroutines were still blocked."""
+
+    def __init__(self, blocked: int, now: int) -> None:
+        super().__init__(
+            f"simulation deadlock: {blocked} process(es) still blocked "
+            f"at t={now}ns with an empty event queue"
+        )
+        self.blocked = blocked
+        self.now = now
+
+
+class MemoryError_(ReproError):
+    """Bad simulated-memory access (out of range, bad segment, bad rkey)."""
+
+
+class RegistrationError(MemoryError_):
+    """Access through an invalid or stale memory registration."""
+
+
+class RmaError(ReproError):
+    """Base class for MPI-3 RMA semantic errors."""
+
+
+class EpochError(RmaError):
+    """RMA call outside a valid access/exposure epoch, or epoch misuse."""
+
+
+class LockError(RmaError):
+    """Lock/unlock protocol misuse (double lock, unlock without lock...)."""
+
+
+class WindowError(RmaError):
+    """Window creation/attach/detach misuse."""
+
+
+class DatatypeError(RmaError):
+    """Malformed derived datatype or type mismatch in communication."""
+
+
+class Mpi1Error(ReproError):
+    """Message-passing (MPI-1 baseline) semantic errors."""

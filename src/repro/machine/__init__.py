@@ -1,0 +1,23 @@
+"""Machine model: a Cray-XE6-like system.
+
+Nodes (32 ranks each by default) are placed on a 3-D torus connected by a
+Gemini-like network.  The network layer models the three serialization
+points that dominate RMA behaviour at the endpoints -- NIC injection, NIC
+ejection, and the NIC AMO engine -- plus distance-dependent wire latency
+and bandwidth.  Per-hop link occupancy is intentionally *not* modeled
+per-packet (see DESIGN.md section 3): endpoint contention is what shapes
+the paper's figures (message rate, atomics, hashtable hot-spots).
+"""
+
+from repro.machine.network import Network, Nic
+from repro.machine.params import GeminiParams, XpmemParams
+from repro.machine.topology import RankMap, Torus3D
+
+__all__ = [
+    "Torus3D",
+    "RankMap",
+    "Network",
+    "Nic",
+    "GeminiParams",
+    "XpmemParams",
+]

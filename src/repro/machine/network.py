@@ -1,0 +1,221 @@
+"""The Gemini-like network engine.
+
+The network delivers *packets* between node NICs.  Three serialization
+points are modeled with busy-until channels (no per-hop events, so even
+multi-thousand-rank runs stay fast):
+
+* **injection** at the source NIC (``o_inject`` + bytes * gap),
+* **ejection** at the destination NIC (``o_eject`` + bytes * gap),
+* the **AMO engine** at the destination NIC (``amo_gap`` occupancy per
+  atomic, plus ``amo_service`` pipeline latency) -- this reproduces the
+  atomics hot-spot contention that shapes the hashtable study.
+
+`Network.packet` returns the *delivery completion time* at the destination
+and an `Event` that fires then; higher layers (DMAPP) build put/get/AMO
+round trips out of it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.machine.params import GeminiParams
+from repro.machine.topology import RankMap, Torus3D
+from repro.sim.kernel import Environment, Event
+from repro.sim.resources import BusyChannel
+from repro.sim.trace import OpCounters
+
+__all__ = ["Nic", "Network"]
+
+
+class Nic:
+    """Per-node network interface.
+
+    Serialization points: the FMA injection path (small/control ops), the
+    BTE injection path (bulk transfers, with a bounded descriptor FIFO),
+    the ejection engine, and the AMO engine.
+    """
+
+    __slots__ = ("node", "fma", "bte", "eject_fma", "eject_bte",
+                 "amo_engine", "fifo_ends")
+
+    def __init__(self, env: Environment, node: int) -> None:
+        self.node = node
+        self.fma = BusyChannel(env)
+        self.bte = BusyChannel(env)
+        self.eject_fma = BusyChannel(env)
+        self.eject_bte = BusyChannel(env)
+        self.amo_engine = BusyChannel(env)
+        self.fifo_ends: deque[int] = deque()
+
+    @property
+    def injection(self) -> BusyChannel:
+        """Bulk injection path (kept for introspection/back-compat)."""
+        return self.bte
+
+    @property
+    def ejection(self) -> BusyChannel:
+        """Bulk ejection path (kept for introspection/back-compat)."""
+        return self.eject_bte
+
+
+class Network:
+    """Packet transport between NICs on the torus."""
+
+    def __init__(
+        self,
+        env: Environment,
+        torus: Torus3D,
+        rank_map: RankMap,
+        params: GeminiParams | None = None,
+        counters: OpCounters | None = None,
+    ) -> None:
+        if torus.nnodes < rank_map.nnodes:
+            raise ValueError(
+                f"torus has {torus.nnodes} nodes but placement needs "
+                f"{rank_map.nnodes}")
+        self.env = env
+        self.torus = torus
+        self.rank_map = rank_map
+        self.params = params or GeminiParams()
+        self.counters = counters or OpCounters()
+        self._nics: dict[int, Nic] = {}
+        self._noise_state = 0x243F6A8885A308D3  # pi digits; deterministic
+
+    def nic(self, node: int) -> Nic:
+        nic = self._nics.get(node)
+        if nic is None:
+            nic = self._nics[node] = Nic(self.env, node)
+        return nic
+
+    # -- latency helpers -------------------------------------------------
+    def hops(self, src_node: int, dst_node: int) -> int:
+        return self.torus.hops(src_node, dst_node)
+
+    def _noise(self) -> float:
+        """Deterministic pseudo-noise in [0, noise_ns)."""
+        if self.params.noise_ns <= 0:
+            return 0.0
+        # xorshift64* -- cheap, deterministic, uncorrelated enough.
+        x = self._noise_state
+        x ^= (x >> 12) & 0xFFFFFFFFFFFFFFFF
+        x ^= (x << 25) & 0xFFFFFFFFFFFFFFFF
+        x ^= (x >> 27) & 0xFFFFFFFFFFFFFFFF
+        self._noise_state = x & 0xFFFFFFFFFFFFFFFF
+        frac = ((x * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF) / 2.0**64
+        return frac * self.params.noise_ns
+
+    # -- packet transport --------------------------------------------------
+    def packet(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        *,
+        inject_window: tuple[int, int] | None = None,
+        charge_injection: bool = True,
+        is_amo: bool = False,
+        gap_per_byte: float | None = None,
+        on_deliver: Callable[[int], None] | None = None,
+    ) -> tuple[int, Event]:
+        """Send one packet; returns (delivery_time_ns, delivery_event).
+
+        The pipeline is cut-through: the head of the packet leaves as soon
+        as injection starts, so the uncontended delivery time is
+        ``inject_start + wire + nbytes*gap`` -- the bandwidth term is paid
+        exactly once end to end.  Destination-side contention serializes on
+        the ejection (or AMO-engine) channel.
+
+        ``inject_window=(start, end)`` lets a caller that already reserved
+        the injection channel thread its occupancy through;
+        ``charge_injection=False`` skips injection entirely (NIC-generated
+        responses such as get replies and acks).
+
+        ``on_deliver(time)`` runs at delivery time *before* any process
+        waiting on the returned event resumes -- remote memory writes and
+        AMO side effects use it so memory is updated atomically at the
+        delivery instant.
+        """
+        p = self.params
+        gap = p.gap_per_byte if gap_per_byte is None else gap_per_byte
+        env = self.env
+
+        if charge_injection:
+            if inject_window is not None:
+                inject_start, inject_end = inject_window
+            else:
+                inject_start, inject_end = self.occupy_injection(
+                    src_node, nbytes, gap)
+            pipeline = p.nic_latency
+        else:
+            inject_start = inject_end = env.now
+            pipeline = 0.0
+
+        wire = (p.wire_latency(self.hops(src_node, dst_node)) + pipeline
+                + self._noise())
+        head_arrival = inject_start + wire
+        tail_arrival = inject_end + wire  # last byte on the floor
+
+        if is_amo:
+            chan = self.nic(dst_node).amo_engine
+            svc = p.amo_gap
+        elif nbytes <= p.fma_threshold:
+            # Small packets interleave at flit granularity; they serialize
+            # only on per-packet processing, never behind bulk transfers.
+            chan = self.nic(dst_node).eject_fma
+            svc = p.o_eject
+        else:
+            chan = self.nic(dst_node).eject_bte
+            svc = max(p.o_eject, nbytes * gap)
+        # Service cannot begin before the head arrives nor finish before
+        # the tail does; contention queues behind earlier packets.
+        start = max(int(round(head_arrival)), chan.busy_until)
+        chan.busy_until = max(start + int(round(svc)),
+                              int(round(tail_arrival)))
+        chan.total_busy += int(round(svc))
+        deliver_time = chan.busy_until
+        if is_amo:
+            deliver_time += int(round(p.amo_service))
+
+        ev = env.event(name="packet-deliver")
+        if on_deliver is not None:
+            def _fire(event: Event, _cb=on_deliver) -> None:
+                _cb(env.now)
+            ev.callbacks.append(_fire)
+        ev.succeed(deliver_time, delay=max(0, deliver_time - env.now))
+        self.counters.count_service(dst_node)
+        return deliver_time, ev
+
+    def occupy_injection(self, src_node: int, nbytes: int,
+                         gap_per_byte: float | None = None) -> tuple[int, int]:
+        """Reserve the injection channel; returns (start, end) times.
+
+        The *end* is when the NIC has drained the payload (origin buffer
+        reusable, wire transfer begins); the issuing CPU is only blocked
+        until ``start + o_inject`` -- handing the descriptor to the NIC --
+        which is what lets large transfers overlap with computation
+        (Figure 5a) while small-message rate stays bounded by o_inject
+        (Figure 5b).
+        """
+        p = self.params
+        gap = p.gap_per_byte if gap_per_byte is None else gap_per_byte
+        duration = max(p.nic_packet_gap, nbytes * gap)
+        chan = (self.nic(src_node).fma if nbytes <= p.fma_threshold
+                else self.nic(src_node).bte)
+        return chan.occupy(int(round(duration)))
+
+    def injection_admit(self, src_node: int, inj_end: int,
+                        nbytes: int = 1 << 30) -> int:
+        """When the descriptor FIFO can accept this op: once the op
+        ``fifo_depth`` places earlier has drained.  Returns the admit time
+        (0 when the FIFO has room).  FMA-path (small) ops never queue --
+        their rate is bounded by the per-message CPU cost."""
+        if nbytes <= self.params.fma_threshold:
+            return 0
+        fifo = self.nic(src_node).fifo_ends
+        admit = fifo[0] if len(fifo) >= self.params.fifo_depth else 0
+        fifo.append(inj_end)
+        while len(fifo) > self.params.fifo_depth:
+            fifo.popleft()
+        return admit

@@ -1,0 +1,94 @@
+"""3-D torus topology and rank placement.
+
+Blue Waters' Gemini network is a 3-D torus; each Gemini ASIC serves two
+XE6 nodes, but for timing purposes we model one NIC per node.  Routing is
+dimension-ordered and minimal, so only the hop *count* matters for our
+latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MachineConfig
+
+__all__ = ["Torus3D", "RankMap"]
+
+
+class Torus3D:
+    """A 3-D torus of ``shape`` nodes with minimal (wraparound) routing."""
+
+    def __init__(self, shape: tuple[int, int, int]) -> None:
+        if any(d < 1 for d in shape):
+            raise ValueError(f"bad torus shape {shape}")
+        self.shape = shape
+
+    @property
+    def nnodes(self) -> int:
+        x, y, z = self.shape
+        return x * y * z
+
+    def coords(self, node: int) -> tuple[int, int, int]:
+        """Node id -> (x, y, z), x-major order."""
+        x, y, z = self.shape
+        if not 0 <= node < self.nnodes:
+            raise ValueError(f"node {node} out of range for shape {self.shape}")
+        return (node // (y * z), (node // z) % y, node % z)
+
+    def node_at(self, cx: int, cy: int, cz: int) -> int:
+        x, y, z = self.shape
+        return ((cx % x) * y + (cy % y)) * z + (cz % z)
+
+    def hops(self, a: int, b: int) -> int:
+        """Minimal hop count between nodes (per-dimension wraparound)."""
+        if a == b:
+            return 0
+        total = 0
+        for ca, cb, dim in zip(self.coords(a), self.coords(b), self.shape):
+            d = abs(ca - cb)
+            total += min(d, dim - d)
+        return total
+
+    def diameter(self) -> int:
+        return sum(d // 2 for d in self.shape)
+
+
+@dataclass
+class RankMap:
+    """Block placement of ranks onto nodes (ranks 0..ppn-1 on node 0, ...).
+
+    This mirrors the default Cray placement used in the paper's benchmarks
+    (consecutive ranks fill a node, so the intra-node -> inter-node
+    transition happens at p = ranks_per_node, visible as the knee in
+    Figures 6c and 7a).
+    """
+
+    nranks: int
+    ranks_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1 or self.ranks_per_node < 1:
+            raise ValueError("nranks and ranks_per_node must be positive")
+
+    @property
+    def nnodes(self) -> int:
+        return (self.nranks + self.ranks_per_node - 1) // self.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
+        return rank // self.ranks_per_node
+
+    def ranks_on(self, node: int) -> range:
+        lo = node * self.ranks_per_node
+        hi = min(self.nranks, lo + self.ranks_per_node)
+        if lo >= self.nranks:
+            raise ValueError(f"node {node} hosts no ranks")
+        return range(lo, hi)
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    @classmethod
+    def for_config(cls, nranks: int, config: MachineConfig) -> "RankMap":
+        return cls(nranks=nranks, ranks_per_node=config.ranks_per_node)

@@ -1,0 +1,225 @@
+"""64-bit atomic cell arrays with watchers.
+
+All of the paper's synchronization state -- the two-level lock words
+(Figure 3), PSCW matching lists, free-storage ring counters and completion
+counters (Figure 2) -- are 64-bit words updated by remote AMOs or local CPU
+atomics.  :class:`AtomicArray` models such words.
+
+*Watchers* are the simulation's stand-in for CPU polling: a process can
+wait until ``predicate(value)`` holds for a cell.  In hardware this is a
+spin loop on cached memory; charging poll time is the caller's business
+(the protocols charge their documented constants), the watcher merely
+provides the wake-up without O(polls) simulation events.
+
+All arithmetic wraps modulo 2**64 exactly like the hardware AMOs the paper
+relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.sim.kernel import Environment, Event, URGENT
+
+__all__ = ["AtomicArray", "SegmentCells", "MASK64"]
+
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _wrap(v: int) -> int:
+    return v & MASK64
+
+
+def _signed(v: int) -> int:
+    v &= MASK64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+class AtomicArray:
+    """An array of 64-bit atomic words with per-cell watchers."""
+
+    def __init__(self, env: Environment, ncells: int, name: str = "") -> None:
+        if ncells < 0:
+            raise MemoryError_(f"negative cell count {ncells}")
+        self.env = env
+        self.name = name
+        self._cells = [0] * ncells
+        # idx -> list of (predicate, event)
+        self._watchers: dict[int, list[tuple[Callable[[int], bool], Event]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def _check(self, idx: int) -> None:
+        if not 0 <= idx < len(self._cells):
+            raise MemoryError_(
+                f"atomic index {idx} out of range [0, {len(self._cells)}) "
+                f"in {self.name!r}")
+
+    # -- plain access ----------------------------------------------------
+    def load(self, idx: int) -> int:
+        self._check(idx)
+        return self._cells[idx]
+
+    def load_signed(self, idx: int) -> int:
+        return _signed(self.load(idx))
+
+    def store(self, idx: int, value: int) -> None:
+        self._check(idx)
+        self._cells[idx] = _wrap(int(value))
+        self._notify(idx)
+
+    # -- read-modify-write ops (all return the OLD value) ----------------
+    def fadd(self, idx: int, delta: int) -> int:
+        self._check(idx)
+        old = self._cells[idx]
+        self._cells[idx] = _wrap(old + int(delta))
+        self._notify(idx)
+        return old
+
+    def cas(self, idx: int, compare: int, swap: int) -> int:
+        self._check(idx)
+        old = self._cells[idx]
+        if old == _wrap(int(compare)):
+            self._cells[idx] = _wrap(int(swap))
+            self._notify(idx)
+        return old
+
+    def swap(self, idx: int, value: int) -> int:
+        self._check(idx)
+        old = self._cells[idx]
+        self._cells[idx] = _wrap(int(value))
+        self._notify(idx)
+        return old
+
+    def apply(self, idx: int, op: str, operand: int) -> int:
+        """Apply a named AMO; returns the old value.
+
+        Supported ops mirror the DMAPP AMO set: add, and, or, xor, min,
+        max (min/max signed, as MPI integer semantics require).
+        """
+        self._check(idx)
+        old = self._cells[idx]
+        v = int(operand)
+        if op == "add":
+            new = old + v
+        elif op == "and":
+            new = old & v
+        elif op == "or":
+            new = old | v
+        elif op == "xor":
+            new = old ^ v
+        elif op == "min":
+            new = old if _signed(old) <= _signed(v) else v
+        elif op == "max":
+            new = old if _signed(old) >= _signed(v) else v
+        elif op == "replace":
+            new = v
+        else:
+            raise MemoryError_(f"unknown AMO op {op!r}")
+        self._cells[idx] = _wrap(new)
+        self._notify(idx)
+        return old
+
+    # -- watchers ----------------------------------------------------------
+    def wait_until(self, idx: int, predicate: Callable[[int], bool]) -> Event:
+        """Event that fires (with the value) when ``predicate(value)`` holds.
+
+        Fires immediately if it already holds.
+        """
+        self._check(idx)
+        ev = self.env.event(name=f"watch:{self.name}[{idx}]")
+        val = self._cells[idx]
+        if predicate(val):
+            ev.succeed(val, priority=URGENT)
+            return ev
+        self._watchers.setdefault(idx, []).append((predicate, ev))
+        return ev
+
+    def _notify(self, idx: int) -> None:
+        lst = self._watchers.get(idx)
+        if not lst:
+            return
+        val = self._cells[idx]
+        fired = [w for w in lst if w[0](val)]
+        if not fired:
+            return
+        self._watchers[idx] = [w for w in lst if w not in fired]
+        for _pred, ev in fired:
+            if not ev.triggered:
+                ev.succeed(val, priority=URGENT)
+
+    def snapshot(self) -> list[int]:
+        return list(self._cells)
+
+
+class SegmentCells:
+    """64-bit atomic view over a data segment's words.
+
+    The NIC AMO engine operates on any 8-byte-aligned registered memory,
+    not just dedicated control words; this adapter lets the DMAPP AMO calls
+    target window *data* (accumulates, fetch-and-op, CAS on user buffers).
+    Cell index i is the i-th int64 word after ``base_offset``.  No watcher
+    support -- user data is polled by protocols, never watched.
+    """
+
+    __slots__ = ("seg", "base_offset", "signed")
+
+    def __init__(self, seg, base_offset: int = 0, signed: bool = True) -> None:
+        if base_offset % 8:
+            raise MemoryError_(f"AMO base offset {base_offset} not 8-aligned")
+        self.seg = seg
+        self.base_offset = base_offset
+        self.signed = signed
+
+    def _view(self) -> np.ndarray:
+        dt = np.int64 if self.signed else np.uint64
+        return self.seg.typed(dt, offset=self.base_offset)
+
+    def load(self, idx: int) -> int:
+        return int(self._view()[idx]) & MASK64
+
+    def store(self, idx: int, value: int) -> None:
+        v = self._view()
+        v[idx] = np.int64(_signed(value)) if self.signed else np.uint64(_wrap(value))
+
+    def cas(self, idx: int, compare: int, swap: int) -> int:
+        old = self.load(idx)
+        if old == _wrap(int(compare)):
+            self.store(idx, swap)
+        return old
+
+    def swap(self, idx: int, value: int) -> int:
+        old = self.load(idx)
+        self.store(idx, value)
+        return old
+
+    def fadd(self, idx: int, delta: int) -> int:
+        old = self.load(idx)
+        self.store(idx, _wrap(old + int(delta)))
+        return old
+
+    def apply(self, idx: int, op: str, operand: int) -> int:
+        old = self.load(idx)
+        v = int(operand)
+        if op == "add":
+            new = old + v
+        elif op == "and":
+            new = old & v
+        elif op == "or":
+            new = old | v
+        elif op == "xor":
+            new = old ^ v
+        elif op == "min":
+            new = old if _signed(old) <= _signed(v) else v
+        elif op == "max":
+            new = old if _signed(old) >= _signed(v) else v
+        elif op == "replace":
+            new = v
+        else:
+            raise MemoryError_(f"unknown AMO op {op!r}")
+        self.store(idx, _wrap(new))
+        return old

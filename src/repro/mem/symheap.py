@@ -1,0 +1,70 @@
+"""Symmetric-heap allocation mechanics (paper Section 2.2, Allocated Windows).
+
+The protocol: a leader picks a random base address and broadcasts it; every
+rank attempts ``mmap(MAP_FIXED)`` at that address; an allreduce checks
+whether *all* succeeded; on any failure everyone unmaps and the leader
+retries with a fresh address.  Success gives a window whose base address is
+identical on every rank, so remote addressing needs O(1) state per rank.
+
+This module provides the *local* pieces (random address proposal, fixed
+allocation attempt, rollback).  The collective loop lives in
+:func:`repro.rma.window.win_allocate`, which is where the paper places it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mem.address_space import (
+    MMAP_REGION_HI,
+    MMAP_REGION_LO,
+    AddressSpace,
+    Segment,
+)
+
+__all__ = ["SymHeapState", "propose_address", "try_symmetric_alloc"]
+
+_PAGE = 0x1000
+
+
+def propose_address(rng: np.random.Generator, size: int) -> int:
+    """Leader's step (1): a page-aligned random base with room for ``size``."""
+    span = MMAP_REGION_HI - MMAP_REGION_LO - size
+    off = int(rng.integers(0, max(1, span // _PAGE))) * _PAGE
+    return MMAP_REGION_LO + off
+
+
+@dataclass
+class SymHeapState:
+    """Bookkeeping for one rank's symmetric-heap attempts (for tests/stats)."""
+
+    attempts: int = 0
+    failures: int = 0
+    segments: list = field(default_factory=list)
+
+
+def try_symmetric_alloc(
+    space: AddressSpace,
+    vaddr: int,
+    size: int,
+    state: SymHeapState | None = None,
+    label: str = "symheap",
+) -> Segment | None:
+    """Rank's step (2): try to map ``size`` bytes at exactly ``vaddr``.
+
+    Returns the segment, or ``None`` if the address range is already taken
+    in this rank's address space (the caller then votes "failed" in the
+    allreduce and everyone rolls back).
+    """
+    if state is not None:
+        state.attempts += 1
+    seg = space.alloc_at(vaddr, size, label=label)
+    if seg is None:
+        if state is not None:
+            state.failures += 1
+        return None
+    if state is not None:
+        state.segments.append(seg)
+    return seg

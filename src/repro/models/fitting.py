@@ -1,0 +1,44 @@
+"""Fit measured/simulated series back onto the paper's model forms.
+
+The reproduction loop: run the simulated microbenchmark, fit the series to
+the same functional form the paper fitted its measurements to, and compare
+constants.  Fits are plain least squares (numpy.linalg.lstsq on the design
+matrix), which is exactly how such microbenchmark models are produced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["fit_affine", "fit_log_linear", "relative_error"]
+
+
+def fit_affine(xs, ys) -> tuple[float, float]:
+    """Fit y = a + b*x; returns (a, b)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size < 2:
+        raise ValueError("need at least two points for an affine fit")
+    design = np.column_stack([np.ones_like(x), x])
+    (a, b), *_ = np.linalg.lstsq(design, y, rcond=None)
+    return float(a), float(b)
+
+
+def fit_log_linear(ps, ys) -> tuple[float, float]:
+    """Fit y = a + b*log2(p); returns (a, b)."""
+    p = np.asarray(ps, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if np.any(p < 1):
+        raise ValueError("process counts must be >= 1")
+    design = np.column_stack([np.ones_like(p), np.log2(np.maximum(p, 2))])
+    (a, b), *_ = np.linalg.lstsq(design, y, rcond=None)
+    return float(a), float(b)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (inf-safe)."""
+    if reference == 0:
+        return math.inf if measured != 0 else 0.0
+    return abs(measured - reference) / abs(reference)

@@ -1,0 +1,66 @@
+"""The paper's measured performance functions (Section 3, Blue Waters).
+
+These constants are quoted verbatim from the text:
+
+* P_put = 0.16 ns/B * s + 1.0 us ; P_get = 0.17 ns/B * s + 1.9 us  (3.1)
+* injection: 416 ns inter-node, 80 ns intra-node                  (3.1.2)
+* P_acc,sum = 28 ns * s + 2.4 us ; P_acc,min = 0.8 ns * s + 7.3 us;
+  P_CAS = 2.4 us                                                   (3.1.3)
+* P_fence = 2.9 us * log2(p)                                       (3.2)
+* P_post = P_complete = 350 ns * k ; P_start = 0.7 us ; P_wait = 1.8 us
+* P_lock,excl = 5.4 us ; P_lock,shrd = P_lock_all = 2.7 us ;
+  P_unlock = P_unlock_all = 0.4 us ; P_flush = 76 ns ; P_sync = 17 ns
+
+`paper_model(name)` returns the corresponding model object; the benchmark
+harness overlays these curves on the simulated series so EXPERIMENTS.md can
+report paper-vs-measured for every figure.
+"""
+
+from __future__ import annotations
+
+from repro.models.perfmodel import (
+    AffineBytesModel,
+    ConstantModel,
+    LinearNeighborsModel,
+    LogProcsModel,
+    PerfModel,
+)
+
+__all__ = ["PAPER_MODELS", "paper_model"]
+
+US = 1000.0
+
+PAPER_MODELS: dict[str, PerfModel] = {
+    # communication (3.1)
+    "put": AffineBytesModel("P_put", 1.0 * US, 0.16),
+    "get": AffineBytesModel("P_get", 1.9 * US, 0.17),
+    "inject_inter": ConstantModel("P_inject,inter", 416.0),
+    "inject_intra": ConstantModel("P_inject,intra", 80.0),
+    # atomics (3.1.3); s counts 8-byte elements for acc models
+    "acc_sum": AffineBytesModel("P_acc,sum", 2.4 * US, 28.0),
+    "acc_min": AffineBytesModel("P_acc,min", 7.3 * US, 0.8),
+    "cas": ConstantModel("P_CAS", 2.4 * US),
+    # synchronization (3.2)
+    "fence": LogProcsModel("P_fence", 0.0, 2.9 * US),
+    "post": LinearNeighborsModel("P_post", 0.0, 350.0),
+    "complete": LinearNeighborsModel("P_complete", 0.0, 350.0),
+    "start": ConstantModel("P_start", 0.7 * US),
+    "wait": ConstantModel("P_wait", 1.8 * US),
+    "lock_excl": ConstantModel("P_lock,excl", 5.4 * US),
+    "lock_shrd": ConstantModel("P_lock,shrd", 2.7 * US),
+    "lock_all": ConstantModel("P_lock_all", 2.7 * US),
+    "unlock": ConstantModel("P_unlock", 0.4 * US),
+    "unlock_all": ConstantModel("P_unlock_all", 0.4 * US),
+    "flush": ConstantModel("P_flush", 76.0),
+    "sync": ConstantModel("P_sync", 17.0),
+}
+
+
+def paper_model(name: str) -> PerfModel:
+    """Look up one of the paper's models by short name."""
+    try:
+        return PAPER_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"no paper model {name!r}; known: {sorted(PAPER_MODELS)}"
+        ) from None

@@ -1,0 +1,138 @@
+"""Cost-function model classes.
+
+Each model declares its input domain the way Figure 1 does (``P:{s} -> T``,
+``P:{p} -> T``, ``P:{k} -> T``, ``P:{} -> T``) and evaluates to nanoseconds.
+Models compose additively, which is how the paper suggests using them, e.g.
+deciding between Fence and PSCW synchronization by comparing
+
+    P_fence  >  P_post + P_complete + P_start + P_wait
+
+(Section 6's worked example, implemented in :func:`prefer_pscw`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "PerfModel",
+    "ConstantModel",
+    "AffineBytesModel",
+    "LogProcsModel",
+    "LinearNeighborsModel",
+    "SumModel",
+    "prefer_pscw",
+]
+
+
+class PerfModel:
+    """Base class: a named cost function with a declared input domain.
+
+    Subclasses define ``name`` (display label) and ``domain`` (tuple of
+    required input variables, Figure-1 style).
+    """
+
+    domain: tuple = ()  # overridden per subclass; no default for ``name``
+
+    def __call__(self, **inputs) -> float:
+        """Evaluate to nanoseconds; unknown inputs are ignored, missing
+        required ones raise."""
+        for var in self.domain:
+            if var not in inputs:
+                raise ValueError(
+                    f"model {self.name!r} needs input {var!r} "
+                    f"(domain P:{{{','.join(self.domain)}}} -> T)")
+        return self._eval(**inputs)
+
+    def _eval(self, **inputs) -> float:
+        raise NotImplementedError
+
+    def __add__(self, other: "PerfModel") -> "SumModel":
+        return SumModel([self, other])
+
+    def domain_str(self) -> str:
+        """Render the Figure-1-style signature."""
+        return f"P:{{{','.join(self.domain)}}} -> T"
+
+
+@dataclass
+class ConstantModel(PerfModel):
+    """P:{} -> T; e.g. P_CAS = 2.4 us, P_unlock = 0.4 us."""
+
+    name: str
+    constant_ns: float
+    domain = ()
+
+    def _eval(self, **inputs) -> float:
+        return self.constant_ns
+
+
+@dataclass
+class AffineBytesModel(PerfModel):
+    """P:{s} -> T as a + b*s; e.g. P_put = 1 us + 0.16 ns/B * s."""
+
+    name: str
+    base_ns: float
+    per_byte_ns: float
+    domain = ("s",)
+
+    def _eval(self, *, s: float, **_ignored) -> float:
+        return self.base_ns + self.per_byte_ns * s
+
+
+@dataclass
+class LogProcsModel(PerfModel):
+    """P:{p} -> T as a + b*log2(p); e.g. P_fence = 2.9 us * log2 p."""
+
+    name: str
+    base_ns: float
+    per_log2p_ns: float
+    domain = ("p",)
+
+    def _eval(self, *, p: float, **_ignored) -> float:
+        return self.base_ns + self.per_log2p_ns * math.log2(max(2, p))
+
+
+@dataclass
+class LinearNeighborsModel(PerfModel):
+    """P:{k} -> T as a + b*k; e.g. P_post = 350 ns * k."""
+
+    name: str
+    base_ns: float
+    per_neighbor_ns: float
+    domain = ("k",)
+
+    def _eval(self, *, k: float, **_ignored) -> float:
+        return self.base_ns + self.per_neighbor_ns * k
+
+
+class SumModel(PerfModel):
+    """Additive composition; domain is the union of parts."""
+
+    def __init__(self, parts: list[PerfModel]) -> None:
+        self.parts = []
+        for part in parts:
+            if isinstance(part, SumModel):
+                self.parts.extend(part.parts)
+            else:
+                self.parts.append(part)
+        self.name = "+".join(p.name for p in self.parts)
+        dom: list[str] = []
+        for part in self.parts:
+            for v in part.domain:
+                if v not in dom:
+                    dom.append(v)
+        self.domain = tuple(dom)
+
+    def _eval(self, **inputs) -> float:
+        return sum(p._eval(**inputs) for p in self.parts)
+
+
+def prefer_pscw(models: dict, p: int, k: int) -> bool:
+    """The paper's Section 6 decision rule: use PSCW instead of fence when
+    P_fence > P_post + P_complete + P_start + P_wait for the given p, k."""
+    fence = models["fence"](p=p)
+    pscw = (models["post"](k=k) + models["complete"](k=k)
+            + models["start"]() + models["wait"]())
+    return fence > pscw

@@ -1,0 +1,21 @@
+"""MPI-1 message-passing baseline.
+
+This is the comparator the paper measures against in Figures 4, 5, 7 and 8:
+two-sided send/recv with receiver-side matching, an eager protocol (with
+its extra copy) for small messages and a rendezvous handshake (RTS/CTS/data)
+for large ones -- exactly the overheads Section 1 argues RMA avoids.
+"""
+
+from repro.mpi1.matching import MatchQueue, Message
+from repro.mpi1.params import Mpi1Params
+from repro.mpi1.pt2pt import ANY_SOURCE, ANY_TAG, Mpi1Endpoint, Request
+
+__all__ = [
+    "Mpi1Endpoint",
+    "Mpi1Params",
+    "Request",
+    "Message",
+    "MatchQueue",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

@@ -1,0 +1,101 @@
+"""Receiver-side message matching.
+
+MPI's two-sided semantics require the receiver to match each incoming
+message against posted receives by (source, tag) with wildcard support, in
+posting order -- this matching work is one of the overheads the paper's
+one-sided protocols eliminate.  The queue keeps MPI's non-overtaking
+guarantee: messages from the same source with the same tag match in send
+order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "PostedRecv", "MatchQueue", "ANY_SOURCE", "ANY_TAG"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """An arrived (or announced, for rendezvous) message."""
+
+    src: int
+    channel: str
+    tag: int
+    payload: Any
+    nbytes: int
+    kind: str              # 'eager' | 'rts'
+    seq: int = 0
+    sender_state: Any = None  # rendezvous bookkeeping back-pointer
+
+
+@dataclass
+class PostedRecv:
+    """A receive posted by the application, awaiting a match."""
+
+    src: int
+    channel: str
+    tag: int
+    event: Any             # sim Event fired with the Message on match
+    seq: int = 0
+
+
+def _matches(recv: PostedRecv, msg: Message) -> bool:
+    if recv.channel != msg.channel:
+        return False
+    if recv.src != ANY_SOURCE and recv.src != msg.src:
+        return False
+    if recv.tag != ANY_TAG and recv.tag != msg.tag:
+        return False
+    return True
+
+
+@dataclass
+class MatchQueue:
+    """Posted-receive queue plus unexpected-message queue for one rank."""
+
+    posted: deque = field(default_factory=deque)
+    unexpected: deque = field(default_factory=deque)
+
+    def post(self, recv: PostedRecv) -> Message | None:
+        """Post a receive; returns an unexpected message if one matches."""
+        for i, msg in enumerate(self.unexpected):
+            if _matches(recv, msg):
+                del self.unexpected[i]
+                return msg
+        self.posted.append(recv)
+        return None
+
+    def arrive(self, msg: Message) -> PostedRecv | None:
+        """Deliver an arriving message; returns the matching posted recv."""
+        for i, recv in enumerate(self.posted):
+            if _matches(recv, msg):
+                del self.posted[i]
+                return recv
+        self.unexpected.append(msg)
+        return None
+
+    def probe(self, src: int, channel: str, tag: int) -> Message | None:
+        """Non-destructive iprobe over the unexpected queue."""
+        fake = PostedRecv(src, channel, tag, event=None)
+        for msg in self.unexpected:
+            if _matches(fake, msg):
+                return msg
+        return None
+
+    def extract(self, src: int, channel: str, tag: int) -> Message | None:
+        """improbe: remove and return the first matching unexpected message."""
+        fake = PostedRecv(src, channel, tag, event=None)
+        for i, msg in enumerate(self.unexpected):
+            if _matches(fake, msg):
+                del self.unexpected[i]
+                return msg
+        return None
+
+    def depth(self) -> tuple[int, int]:
+        return len(self.posted), len(self.unexpected)

@@ -1,0 +1,56 @@
+"""MPI-3 one-sided (RMA) library -- the paper's core contribution.
+
+The package implements every concept of the MPI-3.0 RMA chapter with the
+scalable protocols of the paper:
+
+* window creation (Section 2.2): traditional (``win_create``), allocated
+  with symmetric heap (``win_allocate``), dynamic (``win_create_dynamic`` +
+  attach/detach with the one-sided descriptor-cache protocol) and shared
+  (``win_allocate_shared``);
+* synchronization (Section 2.3): fence, general active target (PSCW) with
+  remote free-storage matching lists, the two-level global/local lock
+  protocol, and the flush family;
+* communication (Section 2.4): put/get, accumulates with the NIC AMO
+  fast path and the lock-get-modify-put fallback, fetch-and-op, CAS,
+  request-based variants, and full derived-datatype support.
+
+Entry point: ``ctx.rma`` on a :class:`~repro.runtime.process.RankContext`.
+"""
+
+from repro.rma.enums import LockType, Op, WinFlavor
+from repro.rma.datatypes import (
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT32,
+    INT64,
+    UINT64,
+    Contiguous,
+    Datatype,
+    Hvector,
+    Indexed,
+    Struct,
+    Vector,
+)
+from repro.rma.runtime import RmaContext
+from repro.rma.window import Window
+
+__all__ = [
+    "RmaContext",
+    "Window",
+    "LockType",
+    "Op",
+    "WinFlavor",
+    "Datatype",
+    "Contiguous",
+    "Vector",
+    "Hvector",
+    "Indexed",
+    "Struct",
+    "BYTE",
+    "INT32",
+    "INT64",
+    "UINT64",
+    "FLOAT",
+    "DOUBLE",
+]

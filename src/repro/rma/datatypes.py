@@ -1,0 +1,249 @@
+"""MPI derived-datatype engine.
+
+The paper handles arbitrary MPI datatypes via the MPITypes library: "the
+datatypes are split into the smallest number of contiguous blocks (using
+both the origin and target datatype) and one DMAPP operation or memory
+copy (XPMEM) is initiated for each block" (Section 2.4).
+
+This module reproduces that: every datatype can enumerate its contiguous
+``(offset, nbytes)`` blocks, adjacent blocks are coalesced to minimize the
+block count, and :func:`zip_blocks` aligns an origin block stream with a
+target block stream so the communication layer can issue one operation per
+aligned piece.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import DatatypeError
+
+__all__ = [
+    "Datatype",
+    "Predefined",
+    "Contiguous",
+    "Vector",
+    "Hvector",
+    "Indexed",
+    "Struct",
+    "zip_blocks",
+    "coalesce",
+    "BYTE",
+    "INT32",
+    "INT64",
+    "UINT64",
+    "FLOAT",
+    "DOUBLE",
+]
+
+
+class Datatype:
+    """Base class: a typemap with a size (payload bytes) and an extent."""
+
+    size: int
+    extent: int
+
+    def blocks(self, count: int = 1, offset: int = 0) -> Iterator[tuple[int, int]]:
+        """Yield coalesced contiguous (byte_offset, nbytes) blocks for
+        ``count`` consecutive elements starting at byte ``offset``."""
+        raise NotImplementedError
+
+    def block_count(self, count: int = 1) -> int:
+        return sum(1 for _ in self.blocks(count))
+
+    def is_contiguous(self, count: int = 1) -> bool:
+        return self.block_count(count) == 1
+
+    # numpy interop -----------------------------------------------------
+    numpy_dtype: np.dtype | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} size={self.size} extent={self.extent}>"
+
+
+def coalesce(blocks: Iterable[tuple[int, int]]) -> Iterator[tuple[int, int]]:
+    """Merge adjacent (offset, nbytes) blocks; input must be sorted runs."""
+    cur_off = cur_len = None
+    for off, ln in blocks:
+        if ln == 0:
+            continue
+        if cur_off is not None and off == cur_off + cur_len:
+            cur_len += ln
+        else:
+            if cur_off is not None:
+                yield (cur_off, cur_len)
+            cur_off, cur_len = off, ln
+    if cur_off is not None:
+        yield (cur_off, cur_len)
+
+
+class Predefined(Datatype):
+    """An intrinsic type: contiguous, extent == size."""
+
+    def __init__(self, size: int, name: str, numpy_dtype=None) -> None:
+        if size < 1:
+            raise DatatypeError(f"bad intrinsic size {size}")
+        self.size = size
+        self.extent = size
+        self.name = name
+        self.numpy_dtype = np.dtype(numpy_dtype) if numpy_dtype else None
+
+    def blocks(self, count: int = 1, offset: int = 0):
+        if count:
+            yield (offset, self.size * count)
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.name}"
+
+
+BYTE = Predefined(1, "BYTE", np.uint8)
+INT32 = Predefined(4, "INT32", np.int32)
+INT64 = Predefined(8, "INT64", np.int64)
+UINT64 = Predefined(8, "UINT64", np.uint64)
+FLOAT = Predefined(4, "FLOAT", np.float32)
+DOUBLE = Predefined(8, "DOUBLE", np.float64)
+
+
+class Contiguous(Datatype):
+    """``count`` consecutive elements of a base type."""
+
+    def __init__(self, count: int, base: Datatype) -> None:
+        if count < 0:
+            raise DatatypeError(f"negative count {count}")
+        self.count = count
+        self.base = base
+        self.size = count * base.size
+        self.extent = count * base.extent
+        if base.size == base.extent and base.numpy_dtype is not None:
+            self.numpy_dtype = base.numpy_dtype
+
+    def blocks(self, count: int = 1, offset: int = 0):
+        yield from coalesce(
+            blk
+            for i in range(count * self.count)
+            for blk in self.base.blocks(1, offset + i * self.base.extent))
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklength`` elements, strided in elements."""
+
+    def __init__(self, count: int, blocklength: int, stride: int,
+                 base: Datatype) -> None:
+        if count < 0 or blocklength < 0:
+            raise DatatypeError("negative vector count/blocklength")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride
+        self.base = base
+        self.size = count * blocklength * base.size
+        self.extent = ((count - 1) * abs(stride) + blocklength) * base.extent \
+            if count > 0 else 0
+
+    def _one(self, offset: int):
+        for b in range(self.count):
+            start = offset + b * self.stride * self.base.extent
+            yield from self.base.blocks(self.blocklength, start)
+
+    def blocks(self, count: int = 1, offset: int = 0):
+        yield from coalesce(
+            blk
+            for i in range(count)
+            for blk in sorted(self._one(offset + i * self.extent)))
+
+
+class Hvector(Vector):
+    """Like Vector but the stride is given in *bytes*."""
+
+    def __init__(self, count: int, blocklength: int, stride_bytes: int,
+                 base: Datatype) -> None:
+        super().__init__(count, blocklength, 1, base)
+        self.stride_bytes = stride_bytes
+        self.extent = ((count - 1) * abs(stride_bytes)
+                       + blocklength * base.extent) if count > 0 else 0
+
+    def _one(self, offset: int):
+        for b in range(self.count):
+            start = offset + b * self.stride_bytes
+            yield from self.base.blocks(self.blocklength, start)
+
+
+class Indexed(Datatype):
+    """Blocks of varying length at varying element displacements."""
+
+    def __init__(self, blocklengths: list[int], displacements: list[int],
+                 base: Datatype) -> None:
+        if len(blocklengths) != len(displacements):
+            raise DatatypeError("blocklengths/displacements length mismatch")
+        self.blocklengths = list(blocklengths)
+        self.displacements = list(displacements)
+        self.base = base
+        self.size = sum(blocklengths) * base.size
+        if blocklengths:
+            self.extent = max(
+                (d + b) * base.extent
+                for d, b in zip(displacements, blocklengths))
+        else:
+            self.extent = 0
+
+    def _one(self, offset: int):
+        for ln, disp in zip(self.blocklengths, self.displacements):
+            yield from self.base.blocks(ln, offset + disp * self.base.extent)
+
+    def blocks(self, count: int = 1, offset: int = 0):
+        yield from coalesce(
+            blk
+            for i in range(count)
+            for blk in sorted(self._one(offset + i * self.extent)))
+
+
+class Struct(Datatype):
+    """Heterogeneous blocks at byte displacements."""
+
+    def __init__(self, blocklengths: list[int], displacements: list[int],
+                 types: list[Datatype]) -> None:
+        if not (len(blocklengths) == len(displacements) == len(types)):
+            raise DatatypeError("struct argument length mismatch")
+        self.blocklengths = list(blocklengths)
+        self.displacements = list(displacements)
+        self.types = list(types)
+        self.size = sum(b * t.size for b, t in zip(blocklengths, types))
+        if blocklengths:
+            self.extent = max(
+                d + b * t.extent
+                for b, d, t in zip(blocklengths, displacements, types))
+        else:
+            self.extent = 0
+
+    def _one(self, offset: int):
+        for ln, disp, t in zip(self.blocklengths, self.displacements,
+                               self.types):
+            yield from t.blocks(ln, offset + disp)
+
+    def blocks(self, count: int = 1, offset: int = 0):
+        yield from coalesce(
+            blk
+            for i in range(count)
+            for blk in sorted(self._one(offset + i * self.extent)))
+
+
+def zip_blocks(origin: Iterable[tuple[int, int]],
+               target: Iterable[tuple[int, int]]) -> Iterator[tuple[int, int, int]]:
+    """Align two block streams into (origin_off, target_off, nbytes) pieces.
+
+    The streams must describe the same total payload size; each output
+    piece is contiguous on both sides, so one hardware operation moves it.
+    """
+    oit, tit = iter(origin), iter(target)
+    o = next(oit, None)
+    t = next(tit, None)
+    while o is not None and t is not None:
+        o_off, o_len = o
+        t_off, t_len = t
+        n = min(o_len, t_len)
+        yield (o_off, t_off, n)
+        o = (o_off + n, o_len - n) if o_len > n else next(oit, None)
+        t = (t_off + n, t_len - n) if t_len > n else next(tit, None)
+    if o is not None or t is not None:
+        raise DatatypeError("origin and target datatypes cover different sizes")

@@ -1,0 +1,60 @@
+"""Enumerations for the RMA API."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LockType", "Op", "WinFlavor", "HW_OPS"]
+
+
+class LockType(enum.Enum):
+    """MPI lock types for passive target synchronization."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class Op(enum.Enum):
+    """MPI reduction operations usable in accumulates.
+
+    ``hw_name`` is the DMAPP AMO the NIC can run for 8-byte integers; ops
+    without one always take the software fallback path (paper Section 2.4,
+    measured as P_acc,min in Figure 6a).
+    """
+
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+    BAND = "band"
+    BOR = "bor"
+    BXOR = "bxor"
+    REPLACE = "replace"
+    NO_OP = "no_op"
+
+    @property
+    def hw_name(self) -> str | None:
+        return _HW_MAP.get(self)
+
+
+#: Ops with a NIC AMO fast path for 8-byte integer data.  Gemini's AMO set
+#: has add/and/or/xor but no min/max/prod -- exactly why the paper's MIN
+#: curve takes the fallback protocol.
+_HW_MAP = {
+    Op.SUM: "add",
+    Op.BAND: "and",
+    Op.BOR: "or",
+    Op.BXOR: "xor",
+    Op.REPLACE: "replace",
+}
+
+HW_OPS = frozenset(_HW_MAP)
+
+
+class WinFlavor(enum.Enum):
+    """How a window's memory came to be (MPI_WIN_CREATE_FLAVOR_*)."""
+
+    CREATE = "create"
+    ALLOCATE = "allocate"
+    DYNAMIC = "dynamic"
+    SHARED = "shared"

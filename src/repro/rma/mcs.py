@@ -1,0 +1,109 @@
+"""Distributed MCS queue lock over RMA atomics.
+
+The paper (Section 2.3): "The number of remote requests while waiting can
+be bound by using MCS locks [24]".  The back-off protocol of Figure 3
+issues an unbounded number of remote reads under contention; an MCS queue
+bounds the traffic to O(1) remote operations per acquire/release because
+each waiter spins on a *local* flag that its predecessor sets exactly
+once.
+
+Layout (on a window created with :func:`mcs_alloc`, disp_unit 8):
+
+    word 0 at the master rank   tail: rank+1 of the last enqueued waiter
+    word 1 at every rank        next: rank+1 of my successor (0 = none)
+    word 2 at every rank        flag: set by my predecessor on hand-off
+
+Acquire: SWAP my id into the tail; if there was a predecessor, publish
+myself as its ``next`` and spin locally until it hands off.  Release: if
+``next`` is empty, try CAS tail (me -> 0); on failure wait for the
+successor to appear, then set its flag.  Every path issues a bounded
+number of remote AMOs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LockError
+
+__all__ = ["McsLock", "IDX_TAIL", "IDX_NEXT", "IDX_FLAG"]
+
+IDX_TAIL = 0
+IDX_NEXT = 1
+IDX_FLAG = 2
+
+
+class McsLock:
+    """One MCS lock instance bound to a window's control structures.
+
+    All ranks of the window share the lock; the tail word lives at the
+    window master.  Uses three control words per rank (O(1) memory).
+    """
+
+    def __init__(self, win, cell_base: int | None = None) -> None:
+        # cell_base: first control word to use (defaults to the user-
+        # extension words past the PSCW ring; several MCS locks can
+        # coexist by passing staggered bases).
+        from repro.rma.window import CTRL_WORDS_BASE
+
+        self.win = win
+        self.base = (CTRL_WORDS_BASE + win.params.pscw_ring_capacity
+                     if cell_base is None else cell_base)
+        self.holding = False
+        self.remote_ops = 0  # for the boundedness tests
+
+    def _cells(self, rank: int):
+        return self.win.ctrl_refs[rank]
+
+    def _amo(self, target: int, idx: int, op: str, a: int, b: int = 0,
+             blocking: bool = True):
+        ctx = self.win.ctx
+        self.remote_ops += 1
+        cells = self._cells(target)
+        if ctx.same_node(target):
+            return (yield from ctx.xpmem.amo(cells, self.base + idx, op, a, b))
+        if blocking:
+            return (yield from ctx.dmapp.amo_b(target, cells,
+                                               self.base + idx, op, a, b))
+        yield from ctx.dmapp.amo_nbi(target, cells, self.base + idx, op, a, b)
+        return None
+
+    # ------------------------------------------------------------------
+    def acquire(self):
+        """Enqueue and wait; O(1) remote AMOs regardless of contention."""
+        if self.holding:
+            raise LockError("MCS lock is not reentrant")
+        win = self.win
+        ctx = win.ctx
+        me = ctx.rank + 1
+        my = self._cells(ctx.rank)
+        my.store(self.base + IDX_NEXT, 0)
+        my.store(self.base + IDX_FLAG, 0)
+        pred = yield from self._amo(win.master, IDX_TAIL, "replace", me)
+        if pred != 0:
+            # Publish myself to the predecessor, then spin on MY flag --
+            # zero remote traffic while waiting (the MCS property).
+            yield from self._amo(int(pred) - 1, IDX_NEXT, "replace", me,
+                                 blocking=False)
+            yield my.wait_until(self.base + IDX_FLAG, lambda v: v != 0)
+            my.store(self.base + IDX_FLAG, 0)
+        self.holding = True
+
+    def release(self):
+        """Hand off to the successor (or clear the tail)."""
+        if not self.holding:
+            raise LockError("releasing an MCS lock not held")
+        win = self.win
+        ctx = win.ctx
+        me = ctx.rank + 1
+        my = self._cells(ctx.rank)
+        if my.load(self.base + IDX_NEXT) == 0:
+            old = yield from self._amo(win.master, IDX_TAIL, "cas", me, 0)
+            if old == me:
+                self.holding = False
+                return
+            # A successor is in the middle of enqueueing: wait for its
+            # next-pointer publication (local spin).
+            yield my.wait_until(self.base + IDX_NEXT, lambda v: v != 0)
+        succ = int(my.load(self.base + IDX_NEXT)) - 1
+        my.store(self.base + IDX_NEXT, 0)
+        yield from self._amo(succ, IDX_FLAG, "replace", 1, blocking=False)
+        self.holding = False

@@ -1,0 +1,66 @@
+"""foMPI software-path constants.
+
+Instruction counts come straight from the paper: "our full implementation
+adds only 173 CPU instructions (x86) in the optimized critical path of
+MPI_Put and MPI_Get"; "all flush operations share the same implementation
+and add only 78 CPU instructions to the critical path"; the interface adds
+"merely between 150 and 200 instructions in the fast path" overall.
+
+The remaining constants calibrate the protocol software paths to the
+measured performance functions of Section 3.2 (P_start = 0.7 us,
+P_wait = 1.8 us, P_fence = 2.9 us * log2 p, P_sync = 17 ns ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FompiParams", "INSTRUCTION_TABLE"]
+
+#: The paper's instruction-count claims (Table reproduced by
+#: benchmarks/bench_table_instructions.py).
+INSTRUCTION_TABLE = {
+    "put_fast_path": 173,
+    "get_fast_path": 173,
+    "flush": 78,
+    "sync": 40,           # ~17 ns at 2.3 GHz
+    "accumulate": 240,
+    "win_lock": 110,
+    "pscw_post_per_neighbor": 90,
+    "message_injection_intra": 190,  # "80 ns (~190 instructions)"
+}
+
+
+@dataclass(frozen=True)
+class FompiParams:
+    """Tunables of the foMPI software layer (times in ns)."""
+
+    instr_put: int = INSTRUCTION_TABLE["put_fast_path"]
+    instr_get: int = INSTRUCTION_TABLE["get_fast_path"]
+    instr_flush: int = INSTRUCTION_TABLE["flush"]
+    instr_sync: int = INSTRUCTION_TABLE["sync"]
+    instr_accumulate: int = INSTRUCTION_TABLE["accumulate"]
+    instr_lock: int = INSTRUCTION_TABLE["win_lock"]
+
+    mfence_ns: float = 40.0
+
+    # PSCW (Section 2.3, Figure 2): software costs around the AMO traffic.
+    pscw_start_overhead: float = 700.0   # P_start = 0.7 us
+    pscw_wait_overhead: float = 1800.0   # P_wait  = 1.8 us
+    pscw_ring_capacity: int = 64         # matching-list slots (>= max k)
+
+    # Fence: per-dissemination-round software cost (gsync bookkeeping,
+    # memory barriers, progress) on top of the barrier messages, so the
+    # total lands on P_fence = 2.9 us * log2 p.
+    fence_round_overhead: float = 1450.0
+
+    # Lock protocol backoff (exponential, deterministic).
+    backoff_base_ns: float = 800.0
+    backoff_max_ns: float = 65536.0
+
+    # Software fallback accumulate: per-byte local reduction cost.
+    fallback_reduce_per_byte: float = 0.12
+
+    # Dynamic windows: bytes per serialized region descriptor fetched by
+    # the cache-refresh protocol.
+    dyn_descriptor_bytes: int = 24

@@ -1,0 +1,152 @@
+"""General Active Target Synchronization -- PSCW (paper Section 2.3, Fig 2).
+
+The scalable matching protocol:
+
+* ``post(group)``: the exposing rank announces itself to every rank j in
+  the group by *appending its id to a matching list local to j*.  The
+  append acquires a free element in the remote list through the
+  free-storage protocol of Figure 2c -- here a single chained NIC
+  operation (fetch a free slot, write ``rank+1``, bump the version word
+  that start() watches).  O(k) messages, zero waiting.
+* ``start(group)``: waits until every group member is present in the
+  *local* matching list, then consumes those entries (freeing the slots).
+  Entries posted for future epochs simply stay -- matching is by process
+  id, exactly the paper's matching rule.
+* ``complete()``: guarantees remote visibility of the epoch's RMA ops
+  (mfence + gsync), then atomically increments the completion counter at
+  every exposure target.  O(k) messages.
+* ``wait()``: blocks until the completion counter reaches the exposure
+  group size, then resets it.
+
+Memory: ``ring_capacity`` slots + 2 counters per rank = O(k).  The paper
+assumes k (max neighbors over all epochs) is known; exceeding the ring
+capacity raises, mirroring that contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EpochError, RmaError
+from repro.rma import window as win_mod
+
+__all__ = ["PscwState", "post", "start", "complete", "wait"]
+
+
+@dataclass
+class PscwState:
+    """Per-window PSCW bookkeeping on one rank."""
+
+    access_group: set = field(default_factory=set)
+    exposure_group: set = field(default_factory=set)
+    epochs_posted: int = 0
+    epochs_started: int = 0
+
+
+def _append_entry(ctrl, capacity: int, poster_rank: int):
+    """The free-storage append executed atomically at the target NIC:
+    find a free slot, write the poster's id, bump the version word."""
+    def mutate():
+        for s in range(capacity):
+            idx = win_mod.IDX_PSCW_SLOTS + s
+            if ctrl.load(idx) == 0:
+                ctrl.store(idx, poster_rank + 1)
+                ctrl.fadd(win_mod.IDX_PSCW_VERSION, 1)
+                return s
+        raise RmaError(
+            "PSCW matching list overflow: more outstanding posts than "
+            "ring_capacity (the paper assumes k is known and bounded)")
+    return mutate
+
+
+def post(win, group):
+    """MPI_Win_post: open an exposure epoch for ``group``."""
+    group = list(group)
+    st = win.pscw_state
+    if win.epoch_exposure == "pscw":
+        raise EpochError("post() while an exposure epoch is already open")
+    if win.rank in group:
+        raise EpochError("a rank cannot post to itself")
+    ctx = win.ctx
+    # Prior local stores must be visible before peers may access.
+    yield from ctx.xpmem.mfence()
+    cap = win.params.pscw_ring_capacity
+    for j in group:
+        ctrl_j = win.ctrl_refs[j]
+        mutate = _append_entry(ctrl_j, cap, win.rank)
+        if ctx.same_node(j):
+            yield from ctx.instr(
+                win.params.instr_lock)  # CPU atomic append
+            mutate()
+        else:
+            yield from ctx.dmapp.amo_custom_nbi(j, mutate)
+    st.exposure_group = set(group)
+    st.epochs_posted += 1
+    win.epoch_exposure = "pscw"
+
+
+def start(win, group):
+    """MPI_Win_start: open an access epoch; blocks until all matching
+    posts arrived (the paper's start *may block*, Section 2.5)."""
+    group = list(group)
+    st = win.pscw_state
+    if win.epoch_access is not None:
+        raise EpochError(
+            f"start() while in a {win.epoch_access!r} access epoch")
+    ctx = win.ctx
+    yield from ctx.compute(win.params.pscw_start_overhead)
+    cap = win.params.pscw_ring_capacity
+    ctrl = win.ctrl
+    needed = set(group)
+    while needed:
+        # Scan the matching list, consume entries for ranks we wait on.
+        for s in range(cap):
+            idx = win_mod.IDX_PSCW_SLOTS + s
+            v = ctrl.load(idx)
+            if v != 0 and (v - 1) in needed:
+                needed.discard(v - 1)
+                ctrl.store(idx, 0)  # free the slot
+        if needed:
+            version = ctrl.load(win_mod.IDX_PSCW_VERSION)
+            yield ctrl.wait_until(win_mod.IDX_PSCW_VERSION,
+                                  lambda v, _v0=version: v != _v0)
+    st.access_group = set(group)
+    st.epochs_started += 1
+    win.epoch_access = "pscw"
+
+
+def complete(win):
+    """MPI_Win_complete: close the access epoch."""
+    st = win.pscw_state
+    if win.epoch_access != "pscw":
+        raise EpochError("complete() without a matching start()")
+    ctx = win.ctx
+    # Remote visibility of all epoch operations first ...
+    yield from ctx.xpmem.mfence()
+    yield from ctx.dmapp.gsync()
+    # ... then notify each exposure peer's completion counter.
+    for j in sorted(st.access_group):
+        if ctx.same_node(j):
+            yield from ctx.instr(win.params.instr_lock)
+            win.ctrl_refs[j].fadd(win_mod.IDX_PSCW_DONE, 1)
+        else:
+            yield from ctx.dmapp.amo_nbi(j, win.ctrl_refs[j],
+                                         win_mod.IDX_PSCW_DONE, "add", 1)
+    st.access_group = set()
+    win.epoch_access = None
+
+
+def wait(win):
+    """MPI_Win_wait: block until every access peer called complete()."""
+    st = win.pscw_state
+    if win.epoch_exposure != "pscw":
+        raise EpochError("wait() without a matching post()")
+    ctx = win.ctx
+    expected = len(st.exposure_group)
+    yield from ctx.compute(win.params.pscw_wait_overhead)
+    if expected:
+        yield win.ctrl.wait_until(win_mod.IDX_PSCW_DONE,
+                                  lambda v: v >= expected)
+        win.ctrl.fadd(win_mod.IDX_PSCW_DONE, -expected)
+    st.exposure_group = set()
+    win.epoch_exposure = None

@@ -1,0 +1,464 @@
+"""The MPI window object: communication calls + epoch bookkeeping.
+
+Control-structure layout (one :class:`~repro.mem.atomic.AtomicArray` per
+rank per window; indices below) -- these are the O(1)+O(k) words per
+process the paper's protocols need:
+
+====================  =======================================================
+``IDX_LOCAL_LOCK``    local reader-writer lock word (Figure 3a): MSB = writer
+                      flag, low bits = shared-lock count
+``IDX_GLOBAL_LOCK``   global lock word, meaningful on the master rank only:
+                      high 32 bits = lock_all (shared) count, low 32 bits =
+                      count of origins holding exclusive locks
+``IDX_PSCW_DONE``     PSCW completion counter (complete() increments)
+``IDX_PSCW_VERSION``  bumped on every matching-list append; start() watches it
+``IDX_DYN_ID``        dynamic-window attach/detach id counter (Section 2.2)
+``IDX_ACC_LOCK``      internal lock for the software accumulate fallback
+``IDX_PSCW_SLOTS..``  the matching list: ``ring_capacity`` free-storage slots
+                      (Figure 2b/2c), slot value = poster rank + 1, 0 = free
+====================  =======================================================
+
+Communication calls follow the paper's Section 2.4: intra-node targets use
+XPMEM loads/stores, inter-node targets use DMAPP; derived datatypes are
+decomposed into minimal contiguous blocks with one operation per block;
+the fast path charges exactly the paper's 173 instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import EpochError, RmaError, WindowError
+from repro.mem.atomic import AtomicArray, SegmentCells
+from repro.rma import accumulate as acc_mod
+from repro.rma import fence as fence_mod
+from repro.rma import locks as locks_mod
+from repro.rma import pscw as pscw_mod
+from repro.rma.datatypes import BYTE, Datatype, Predefined, zip_blocks
+from repro.rma.enums import LockType, Op, WinFlavor
+from repro.rma.params import FompiParams
+
+__all__ = ["Window", "RmaRequest", "CTRL_WORDS_BASE",
+           "IDX_LOCAL_LOCK", "IDX_GLOBAL_LOCK", "IDX_PSCW_DONE",
+           "IDX_PSCW_VERSION", "IDX_DYN_ID", "IDX_ACC_LOCK", "IDX_PSCW_SLOTS"]
+
+IDX_LOCAL_LOCK = 0
+IDX_GLOBAL_LOCK = 1
+IDX_PSCW_DONE = 2
+IDX_PSCW_VERSION = 3
+IDX_DYN_ID = 4
+IDX_ACC_LOCK = 5
+IDX_PSCW_SLOTS = 6
+CTRL_WORDS_BASE = 6
+
+
+class RmaRequest:
+    """Request-based RMA operation handle (MPI_Rput / MPI_Rget)."""
+
+    def __init__(self, win: "Window", handles, result=None) -> None:
+        self.win = win
+        self.handles = handles
+        self.result = result
+
+    def wait(self):
+        for h in self.handles:
+            yield from self.win.ctx.dmapp.wait(h)
+        return self.result
+
+
+class Window:
+    """One rank's handle on an MPI-3 window."""
+
+    def __init__(self, ctx, win_id: int, flavor: WinFlavor, *,
+                 seg=None, disp_unit: int = 1, size: int = 0,
+                 params: FompiParams | None = None) -> None:
+        self.ctx = ctx
+        self.win_id = win_id
+        self.flavor = flavor
+        self.seg = seg
+        self.size = size
+        self.disp_unit = disp_unit
+        self.params = params or FompiParams()
+        self.nranks = ctx.nranks
+        self.rank = ctx.rank
+
+        # Remote-addressing state (filled by the creation protocols):
+        self.base_vaddr: int | None = None            # ALLOCATE: O(1)
+        self.descs: dict[int, Any] | None = None      # CREATE: Omega(p)
+        self.xtokens: dict[int, Any] = {}             # same-node direct maps
+        self.ctrl: AtomicArray | None = None
+        self.ctrl_refs: dict[int, AtomicArray] = {}
+        self.shared_segment = None                    # SHARED flavor
+        self.shared_offsets: dict[int, int] | None = None
+
+        # Synchronization state:
+        self.epoch_access: str | None = None    # 'fence'|'pscw'|'lock'|'lock_all'
+        self.epoch_exposure: str | None = None
+        self.lock_state = locks_mod.LockState()
+        self.pscw_state = pscw_mod.PscwState()
+        self.dyn = None                          # DynamicState for DYNAMIC
+
+        # Introspection for tests/benches:
+        self.op_counts = {"put": 0, "get": 0, "accumulate": 0,
+                          "get_accumulate": 0, "fetch_and_op": 0,
+                          "compare_and_swap": 0, "flush": 0}
+        self.freed = False
+
+    # ------------------------------------------------------------------
+    # addressing helpers
+    # ------------------------------------------------------------------
+    @property
+    def master(self) -> int:
+        """Designated holder of the global lock variable (rank 0)."""
+        return 0
+
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise WindowError("operation on a freed window")
+
+    def _target_segment(self, target: int, toff: int, nbytes: int):
+        """Resolve (segment, base) for a target byte range (static flavors)."""
+        world = self.ctx.world
+        if self.flavor is WinFlavor.ALLOCATE:
+            return world.reg_tables[target].resolve_va(
+                self.base_vaddr + toff, max(1, nbytes)), 0
+        if self.flavor is WinFlavor.CREATE:
+            desc = self.descs[target]
+            return world.reg_tables[target].resolve(desc), 0
+        if self.flavor is WinFlavor.SHARED:
+            return self.shared_segment, self.shared_offsets[target]
+        raise WindowError(f"direct addressing unsupported for {self.flavor}")
+
+    def _target_desc(self, target: int, toff: int, nbytes: int):
+        """Descriptor for the DMAPP path (static flavors)."""
+        world = self.ctx.world
+        if self.flavor is WinFlavor.ALLOCATE:
+            return world.reg_tables[target].descriptor_for_va(
+                self.base_vaddr + toff, max(1, nbytes))
+        if self.flavor is WinFlavor.CREATE:
+            return self.descs[target]
+        raise WindowError(f"DMAPP addressing unsupported for {self.flavor}")
+
+    def _use_xpmem(self, target: int) -> bool:
+        if self.flavor is WinFlavor.SHARED:
+            return True
+        if self.flavor is WinFlavor.DYNAMIC:
+            return False
+        return target in self.xtokens
+
+    def _byte_offset(self, target_disp: int) -> int:
+        return target_disp * self.disp_unit
+
+    # ------------------------------------------------------------------
+    # epoch checking (MPI semantics)
+    # ------------------------------------------------------------------
+    def _require_access(self, target: int) -> None:
+        mode = self.epoch_access
+        if mode is None:
+            raise EpochError(
+                f"rank {self.rank}: RMA communication to {target} outside "
+                "any access epoch")
+        if mode == "pscw" and target not in self.pscw_state.access_group:
+            raise EpochError(
+                f"rank {self.rank}: target {target} not in the PSCW access "
+                f"group {sorted(self.pscw_state.access_group)}")
+        if mode == "lock" and target not in self.lock_state.held:
+            raise EpochError(
+                f"rank {self.rank}: target {target} not locked "
+                f"(locked: {sorted(self.lock_state.held)})")
+
+    # ------------------------------------------------------------------
+    # communication: put / get
+    # ------------------------------------------------------------------
+    def put(self, data, target: int, target_disp: int = 0, *,
+            origin_datatype: Datatype | None = None,
+            target_datatype: Datatype | None = None,
+            count: int | None = None):
+        """MPI_Put.  ``data`` is the origin buffer (any numpy array); the
+        target displacement is in units of the window's ``disp_unit``."""
+        self._check_alive()
+        self._require_access(target)
+        self.op_counts["put"] += 1
+        yield from self.ctx.instr(self.params.instr_put)
+        handles = yield from self._transfer_out(data, target, target_disp,
+                                                origin_datatype,
+                                                target_datatype, count)
+        return handles
+
+    def rput(self, data, target: int, target_disp: int = 0, **kw):
+        """Request-based put: completion via the returned request."""
+        handles = yield from self.put(data, target, target_disp, **kw)
+        return RmaRequest(self, handles)
+
+    def _transfer_out(self, data, target, target_disp, origin_datatype,
+                      target_datatype, count):
+        raw = np.ascontiguousarray(np.asarray(data)).view(np.uint8).ravel()
+        toff = self._byte_offset(target_disp)
+        pieces = self._pieces(raw.size, origin_datatype, target_datatype,
+                              count)
+        ctx = self.ctx
+        handles = []
+        if self.flavor is WinFlavor.DYNAMIC:
+            for o_off, t_off, n in pieces:
+                desc = yield from self.dyn.resolve(self, target, toff + t_off, n)
+                h = yield from ctx.dmapp.put_nbi(
+                    desc, toff + t_off - desc.vaddr, raw[o_off:o_off + n])
+                handles.append(h)
+        elif self._use_xpmem(target):
+            seg, base = (self._target_segment(target, toff, raw.size)
+                         if self.flavor is WinFlavor.SHARED
+                         else (None, 0))
+            for o_off, t_off, n in pieces:
+                if self.flavor is WinFlavor.SHARED:
+                    yield from ctx.xpmem.store(
+                        _SegToken(seg), base + toff + t_off,
+                        raw[o_off:o_off + n])
+                else:
+                    yield from ctx.xpmem.store(
+                        self.xtokens[target], toff + t_off,
+                        raw[o_off:o_off + n])
+        else:
+            for o_off, t_off, n in pieces:
+                desc = self._target_desc(target, toff + t_off, n)
+                base = ((self.base_vaddr - desc.vaddr)
+                        if self.flavor is WinFlavor.ALLOCATE else 0)
+                h = yield from ctx.dmapp.put_nbi(
+                    desc, base + toff + t_off, raw[o_off:o_off + n])
+                handles.append(h)
+        return handles
+
+    def get(self, out, target: int, target_disp: int = 0, *,
+            origin_datatype: Datatype | None = None,
+            target_datatype: Datatype | None = None,
+            count: int | None = None):
+        """MPI_Get into the ``out`` buffer (filled at flush/completion for
+        the DMAPP path, immediately for XPMEM)."""
+        self._check_alive()
+        self._require_access(target)
+        self.op_counts["get"] += 1
+        yield from self.ctx.instr(self.params.instr_get)
+        out_raw = out.view(np.uint8).reshape(-1)
+        toff = self._byte_offset(target_disp)
+        pieces = self._pieces(out_raw.size, origin_datatype, target_datatype,
+                              count)
+        ctx = self.ctx
+        handles = []
+        if self.flavor is WinFlavor.DYNAMIC:
+            for o_off, t_off, n in pieces:
+                desc = yield from self.dyn.resolve(self, target, toff + t_off, n)
+                h = yield from ctx.dmapp.get_nbi(
+                    desc, toff + t_off - desc.vaddr, n,
+                    out=out_raw[o_off:o_off + n])
+                handles.append(h)
+        elif self._use_xpmem(target):
+            for o_off, t_off, n in pieces:
+                if self.flavor is WinFlavor.SHARED:
+                    seg, base = self._target_segment(target, toff, n)
+                    got = yield from ctx.xpmem.load(
+                        _SegToken(seg), base + toff + t_off, n)
+                else:
+                    got = yield from ctx.xpmem.load(
+                        self.xtokens[target], toff + t_off, n)
+                out_raw[o_off:o_off + n] = got
+        else:
+            for o_off, t_off, n in pieces:
+                desc = self._target_desc(target, toff + t_off, n)
+                base = ((self.base_vaddr - desc.vaddr)
+                        if self.flavor is WinFlavor.ALLOCATE else 0)
+                h = yield from ctx.dmapp.get_nbi(
+                    desc, base + toff + t_off, n, out=out_raw[o_off:o_off + n])
+                handles.append(h)
+        return handles
+
+    def rget(self, out, target: int, target_disp: int = 0, **kw):
+        handles = yield from self.get(out, target, target_disp, **kw)
+        return RmaRequest(self, handles, result=out)
+
+    def get_blocking(self, target: int, target_disp: int, nbytes: int,
+                     dtype=np.uint8):
+        """Convenience: get + wait; returns a fresh array."""
+        out = np.empty(nbytes, dtype=np.uint8)
+        handles = yield from self.get(out, target, target_disp)
+        for h in handles:
+            yield from self.ctx.dmapp.wait(h)
+        return out.view(dtype)
+
+    def _pieces(self, total_bytes: int, origin_dt, target_dt, count):
+        """Aligned (origin_off, target_off, nbytes) pieces -- the
+        minimal-contiguous-block decomposition of Section 2.4."""
+        n = count if count is not None else 1
+        if origin_dt is None and target_dt is None:
+            return [(0, 0, total_bytes)]
+        odt = origin_dt or BYTE
+        tdt = target_dt or BYTE
+        ocount = n if origin_dt is not None else total_bytes
+        payload = odt.size * ocount
+        tcount = (payload // tdt.size) if tdt.size else 0
+        return list(zip_blocks(odt.blocks(ocount), tdt.blocks(tcount)))
+
+    # ------------------------------------------------------------------
+    # communication: atomics (delegated to the accumulate module)
+    # ------------------------------------------------------------------
+    def accumulate(self, data, target: int, target_disp: int = 0,
+                   op: Op = Op.SUM, *, element_bytes: int | None = None):
+        self._check_alive()
+        self._require_access(target)
+        self.op_counts["accumulate"] += 1
+        return (yield from acc_mod.accumulate(self, data, target,
+                                              target_disp, op,
+                                              element_bytes=element_bytes,
+                                              fetch=False))
+
+    def get_accumulate(self, data, target: int, target_disp: int = 0,
+                       op: Op = Op.SUM, *, element_bytes: int | None = None):
+        """Returns the previous target contents (same shape as data)."""
+        self._check_alive()
+        self._require_access(target)
+        self.op_counts["get_accumulate"] += 1
+        return (yield from acc_mod.accumulate(self, data, target,
+                                              target_disp, op,
+                                              element_bytes=element_bytes,
+                                              fetch=True))
+
+    def fetch_and_op(self, value, target: int, target_disp: int = 0,
+                     op: Op = Op.SUM):
+        """Single-element fetching atomic (fine-grained completion)."""
+        self._check_alive()
+        self._require_access(target)
+        self.op_counts["fetch_and_op"] += 1
+        return (yield from acc_mod.fetch_and_op(self, value, target,
+                                                target_disp, op))
+
+    def compare_and_swap(self, compare, swap, target: int,
+                         target_disp: int = 0):
+        """8-byte CAS; returns the old value."""
+        self._check_alive()
+        self._require_access(target)
+        self.op_counts["compare_and_swap"] += 1
+        return (yield from acc_mod.compare_and_swap(self, compare, swap,
+                                                    target, target_disp))
+
+    # ------------------------------------------------------------------
+    # synchronization -- thin wrappers over the protocol modules
+    # ------------------------------------------------------------------
+    def fence(self, no_succeed: bool = False):
+        self._check_alive()
+        yield from fence_mod.fence(self, no_succeed=no_succeed)
+
+    def post(self, group):
+        self._check_alive()
+        yield from pscw_mod.post(self, group)
+
+    def start(self, group):
+        self._check_alive()
+        yield from pscw_mod.start(self, group)
+
+    def complete(self):
+        self._check_alive()
+        yield from pscw_mod.complete(self)
+
+    def wait(self):
+        self._check_alive()
+        yield from pscw_mod.wait(self)
+
+    def lock(self, target: int, lock_type: LockType = LockType.SHARED):
+        self._check_alive()
+        yield from locks_mod.lock(self, target, lock_type)
+
+    def unlock(self, target: int):
+        self._check_alive()
+        yield from locks_mod.unlock(self, target)
+
+    def lock_all(self):
+        self._check_alive()
+        yield from locks_mod.lock_all(self)
+
+    def unlock_all(self):
+        self._check_alive()
+        yield from locks_mod.unlock_all(self)
+
+    # -- flush family (Section 2.3: "all flush operations share the same
+    # implementation and add only 78 CPU instructions") ------------------
+    def flush(self, target: int | None = None):
+        """Remote completion of all outstanding operations.
+
+        DMAPP only offers *bulk* completion (gsync), so per-target flush
+        is implemented as a full flush -- exactly what foMPI does.
+        """
+        self._check_alive()
+        if self.epoch_access not in ("lock", "lock_all", "fence", "pscw"):
+            raise EpochError("flush outside a passive/active epoch")
+        self.op_counts["flush"] += 1
+        yield from self.ctx.instr(self.params.instr_flush)
+        yield from self.ctx.compute(self.params.mfence_ns)
+        yield from self.ctx.dmapp.gsync()
+
+    def flush_all(self):
+        yield from self.flush(None)
+
+    def flush_local(self, target: int | None = None):
+        """Local completion only: origin buffers reusable."""
+        self._check_alive()
+        self.op_counts["flush"] += 1
+        yield from self.ctx.instr(self.params.instr_flush)
+
+    def flush_local_all(self):
+        yield from self.flush_local(None)
+
+    def sync(self):
+        """MPI_Win_sync: memory barrier (P_sync = 17 ns)."""
+        yield from self.ctx.instr(self.params.instr_sync)
+        yield from self.ctx.xpmem.mfence()
+
+    # ------------------------------------------------------------------
+    def free(self):
+        """Collective window destruction."""
+        self._check_alive()
+        if self.lock_state.held or self.lock_state.lock_all_held:
+            raise RmaError("freeing a window while holding locks")
+        yield from self.ctx.coll.barrier()
+        self.freed = True
+
+    # -- convenience -----------------------------------------------------
+    def local_view(self, dtype=np.uint8) -> np.ndarray:
+        """Typed view of this rank's window memory."""
+        if self.flavor is WinFlavor.SHARED:
+            off = self.shared_offsets[self.rank]
+            return self.shared_segment.view(off, self.size).view(np.dtype(dtype))
+        if self.seg is None:
+            raise WindowError(f"{self.flavor} window has no local segment")
+        return self.seg.typed(dtype)
+
+    def shared_query(self, rank: int):
+        """MPI_Win_shared_query: (segment, byte offset) of a peer's part."""
+        if self.flavor is not WinFlavor.SHARED:
+            raise WindowError("shared_query on a non-shared window")
+        return self.shared_segment, self.shared_offsets[rank]
+
+    def attach(self, seg):
+        """MPI_Win_attach (dynamic windows only)."""
+        return (yield from self.ctx.rma.win_attach(self, seg))
+
+    def detach(self, desc):
+        """MPI_Win_detach (dynamic windows only)."""
+        yield from self.ctx.rma.win_detach(self, desc)
+
+    def control_words(self) -> int:
+        """Number of control words this rank allocated for the window --
+        the paper's memory-overhead metric."""
+        n = len(self.ctrl) if self.ctrl is not None else 0
+        if self.descs is not None:
+            n += len(self.descs)  # Omega(p) descriptor table (CREATE)
+        return n
+
+
+class _SegToken:
+    """Adapter making a raw segment look like an XPMEM token (shared
+    windows address one common segment by offset)."""
+
+    __slots__ = ("seg",)
+
+    def __init__(self, seg) -> None:
+        self.seg = seg

@@ -1,0 +1,14 @@
+"""SPMD runtime: world assembly, rank contexts, job launcher, collectives.
+
+`run_spmd(program, nranks)` is the main entry point of the whole package:
+it builds a simulated machine, spawns ``nranks`` copies of ``program`` (a
+generator taking a :class:`~repro.runtime.process.RankContext`), runs the
+simulation to completion and returns per-rank results plus counters.
+"""
+
+from repro.runtime.collectives import Collectives
+from repro.runtime.job import Job, run_spmd
+from repro.runtime.process import RankContext
+from repro.runtime.world import World
+
+__all__ = ["World", "RankContext", "Collectives", "Job", "run_spmd"]

@@ -1,0 +1,76 @@
+"""SPMD job launcher."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import MachineConfig, RunResult, SimConfig
+from repro.machine.params import GeminiParams, XpmemParams
+from repro.mpi1.params import Mpi1Params
+from repro.runtime.process import RankContext
+from repro.runtime.world import World
+
+__all__ = ["Job", "run_spmd"]
+
+
+@dataclass
+class Job:
+    """Reusable launch configuration.
+
+    ``Job(nranks=64).run(program)`` builds a fresh world each time, so runs
+    are independent and deterministic.
+    """
+
+    nranks: int
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    sim: SimConfig = field(default_factory=SimConfig)
+    gemini: GeminiParams = field(default_factory=GeminiParams)
+    xpmem: XpmemParams = field(default_factory=XpmemParams)
+    mpi1: Mpi1Params = field(default_factory=Mpi1Params)
+
+    def build_world(self) -> World:
+        return World(self.nranks, self.machine, self.sim, self.gemini,
+                     self.xpmem, self.mpi1)
+
+    def run(self, program: Callable, *args, **kwargs) -> RunResult:
+        """Run ``program(ctx, *args, **kwargs)`` on every rank."""
+        world = self.build_world()
+        return run_on_world(world, program, *args, **kwargs)
+
+
+def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
+    """Run an SPMD program on an existing world (exposed for tests that
+    need to inspect world state afterwards)."""
+    contexts = [RankContext(world, r) for r in range(world.nranks)]
+    procs = [world.env.process(program(ctx, *args, **kwargs),
+                               name=f"rank{ctx.rank}")
+             for ctx in contexts]
+    world.env.run()
+    return RunResult(
+        returns=[p.value for p in procs],
+        sim_time_ns=world.env.now,
+        events_processed=world.env.events_processed,
+        stats=world.counters.snapshot(),
+    )
+
+
+def run_spmd(program: Callable, nranks: int, *args,
+             machine: MachineConfig | None = None,
+             sim: SimConfig | None = None,
+             gemini: GeminiParams | None = None,
+             xpmem: XpmemParams | None = None,
+             mpi1: Mpi1Params | None = None,
+             **kwargs) -> RunResult:
+    """One-shot SPMD run; the package's main entry point.
+
+    Parameters mirror :class:`Job`; extra positional/keyword arguments are
+    forwarded to ``program`` after the rank context.
+    """
+    job = Job(nranks=nranks,
+              machine=machine or MachineConfig(),
+              sim=sim or SimConfig(),
+              gemini=gemini or GeminiParams(),
+              xpmem=xpmem or XpmemParams(),
+              mpi1=mpi1 or Mpi1Params())
+    return job.run(program, *args, **kwargs)

@@ -1,0 +1,107 @@
+"""Per-rank execution context.
+
+A rank program is a generator taking a :class:`RankContext`::
+
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(4096)
+        yield from win.lock(1, exclusive=True)
+        yield from win.put(data, target=1, offset=0)
+        yield from win.flush(1)
+        yield from win.unlock(1)
+        return ctx.now
+
+The context exposes every substrate (dmapp, xpmem, mpi, collectives, rma,
+pgas) plus time-charging helpers; ``compute``/``instr`` model local CPU
+work, which is how the overlap benchmark (Figure 5a) measures what the NIC
+can hide.
+"""
+
+from __future__ import annotations
+
+from repro.dmapp.api import DmappEndpoint
+from repro.mpi1.pt2pt import Mpi1Endpoint
+from repro.xpmem.api import XpmemEndpoint
+
+__all__ = ["RankContext"]
+
+
+class RankContext:
+    """One rank's view of the world."""
+
+    def __init__(self, world, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.nranks = world.nranks
+        self.env = world.env
+        self.node = world.rank_map.node_of(rank)
+        self.space = world.spaces[rank]
+        self.reg = world.reg_tables[rank]
+        self.dmapp = DmappEndpoint(world.env, rank, world.network,
+                                   world.rank_map, world.reg_tables)
+        self.xpmem = XpmemEndpoint(world.env, rank, world.rank_map,
+                                   world.xpmem, world.counters)
+        self.mpi = Mpi1Endpoint(world.env, rank, world.network,
+                                world.rank_map, world.mpi1, world.xpmem,
+                                world.mpi_registry)
+        self._coll = None
+        self._rma = None
+        self._upc = None
+        self._caf = None
+
+    # -- lazy heavy layers -------------------------------------------------
+    @property
+    def coll(self):
+        if self._coll is None:
+            from repro.runtime.collectives import Collectives
+
+            self._coll = Collectives(self)
+        return self._coll
+
+    @property
+    def rma(self):
+        if self._rma is None:
+            from repro.rma.runtime import RmaContext
+
+            self._rma = RmaContext(self)
+        return self._rma
+
+    @property
+    def upc(self):
+        if self._upc is None:
+            from repro.pgas.upc import UpcContext
+
+            self._upc = UpcContext(self)
+        return self._upc
+
+    @property
+    def caf(self):
+        if self._caf is None:
+            from repro.pgas.caf import CafContext
+
+            self._caf = CafContext(self)
+        return self._caf
+
+    # -- time -----------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time (ns)."""
+        return self.env.now
+
+    def compute(self, ns: float):
+        """Model local computation taking ``ns`` nanoseconds."""
+        if ns > 0:
+            yield self.env.timeout(int(round(ns)))
+
+    def instr(self, count: float):
+        """Charge ``count`` CPU instructions at the machine clock."""
+        yield from self.compute(self.world.machine.instructions_to_ns(count))
+
+    # -- topology helpers -------------------------------------------------
+    def same_node(self, other_rank: int) -> bool:
+        return self.world.rank_map.same_node(self.rank, other_rank)
+
+    def node_of(self, rank: int) -> int:
+        return self.world.rank_map.node_of(rank)
+
+    def rng(self, purpose: str):
+        return self.world.rng(purpose, self.rank)

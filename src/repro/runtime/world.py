@@ -1,0 +1,59 @@
+"""World: one simulated machine plus all per-rank state."""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig, SimConfig
+from repro.machine.network import Network
+from repro.machine.params import GeminiParams, XpmemParams
+from repro.machine.topology import RankMap, Torus3D
+from repro.mem.address_space import AddressSpace
+from repro.mem.registration import RegistrationTable
+from repro.mpi1.params import Mpi1Params
+from repro.sim.kernel import Environment
+from repro.sim.random import stream
+from repro.sim.trace import OpCounters
+
+__all__ = ["World"]
+
+
+class World:
+    """Everything shared by the ranks of one simulated job."""
+
+    def __init__(
+        self,
+        nranks: int,
+        machine: MachineConfig | None = None,
+        sim: SimConfig | None = None,
+        gemini: GeminiParams | None = None,
+        xpmem: XpmemParams | None = None,
+        mpi1: Mpi1Params | None = None,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        self.nranks = nranks
+        self.machine = machine or MachineConfig()
+        self.sim = sim or SimConfig()
+        self.gemini = gemini or GeminiParams()
+        self.xpmem = xpmem or XpmemParams()
+        self.mpi1 = mpi1 or Mpi1Params()
+
+        self.env = Environment(max_events=self.sim.max_events)
+        self.rank_map = RankMap.for_config(nranks, self.machine)
+        self.torus = Torus3D(self.machine.derive_torus(nranks))
+        self.counters = OpCounters()
+        self.network = Network(self.env, self.torus, self.rank_map,
+                               self.gemini, self.counters)
+        self.spaces = {r: AddressSpace(r) for r in range(nranks)}
+        self.reg_tables = {r: RegistrationTable(r) for r in range(nranks)}
+        self.mpi_registry: dict = {}
+        # Cross-rank rendezvous spots used by collective protocols
+        # (window-creation exchanges etc.); keyed by (kind, instance).
+        self.blackboard: dict = {}
+
+    def rng(self, purpose: str, rank: int = 0):
+        """Deterministic random stream for (purpose, rank)."""
+        return stream(self.sim.seed, purpose, rank)
+
+    @property
+    def now(self) -> int:
+        return self.env.now

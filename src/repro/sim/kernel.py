@@ -1,0 +1,397 @@
+"""Discrete-event simulation kernel.
+
+Design notes
+------------
+* Simulated time is an integer number of **nanoseconds**.  Fractional
+  nanosecond costs are accumulated by callers and rounded once (the machine
+  layer does this), keeping the event queue integral and deterministic.
+* Events in the queue are ordered by ``(time, priority, seq)`` where ``seq``
+  is a monotone counter -- two events at the same instant always fire in the
+  order they were scheduled, making every run bit-reproducible.
+* Processes are plain Python generators.  ``yield event`` suspends until the
+  event fires; the value sent back into the generator is ``event.value``.
+  Composite waits use :class:`AllOf` / :class:`AnyOf`.
+* Unlike SimPy we detect deadlock eagerly: if the queue drains while
+  processes are still blocked, :class:`~repro.errors.DeadlockError` is
+  raised with diagnostics.  The MPI specification forbids cyclically
+  waiting configurations (Section 2.5 of the paper); this check is how the
+  test suite asserts that the protocols never create them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+]
+
+# Scheduling priorities (lower fires first at equal times).
+URGENT = 0  # completions/wakeups that should precede new work
+NORMAL = 1
+LOW = 2
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence; processes wait on it by ``yield``-ing it.
+
+    An event is *triggered* once via :meth:`succeed` or :meth:`fail`; its
+    callbacks then run at the scheduled simulated time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "name")
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._scheduled = False
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0, priority: int = NORMAL) -> "Event":
+        """Trigger successfully, firing callbacks ``delay`` ns from now."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=delay, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger as failed; waiting processes get ``exception`` thrown."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=delay, priority=URGENT)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None,
+                 priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=int(delay), priority=priority)
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* an event that fires on return.
+
+    The generator may ``yield``:
+
+    * an :class:`Event` -- suspend until it fires; resumed with its value,
+    * another :class:`Process` -- suspend until that process terminates.
+    """
+
+    __slots__ = ("_gen", "_target", "_interrupts")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(gen).__name__} "
+                "(did you forget to call the generator function?)")
+        super().__init__(env, name=name or getattr(gen, "__name__", ""))
+        self._gen = gen
+        self._target: Event | None = None
+        self._interrupts: list[Interrupt] = []
+        env._nprocesses += 1
+        # Bootstrap: resume the generator at the current instant.
+        init = Event(env, name=f"init:{self.name}")
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init, delay=0, priority=NORMAL)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        exc = Interrupt(cause)
+        wake = Event(self.env, name=f"interrupt:{self.name}")
+        wake._ok = False
+        wake._value = exc
+        wake.callbacks.append(self._resume)
+        self.env.schedule(wake, delay=0, priority=URGENT)
+
+    # -- engine --------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        env = self.env
+        # Detach from the event that woke us (it may not be the one that
+        # fired if we were interrupted).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        env._active = self
+        event: Event | None = trigger
+        while True:
+            try:
+                if event._ok:
+                    out = self._gen.send(event._value)
+                else:
+                    out = self._gen.throw(event._value)
+            except StopIteration as stop:
+                env._active = None
+                env._nprocesses -= 1
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                env._active = None
+                env._nprocesses -= 1
+                if env.strict:
+                    self._ok = False
+                    self._value = exc
+                    env.schedule(self, delay=0, priority=URGENT)
+                    raise
+                self.fail(exc)
+                return
+            if not isinstance(out, Event):
+                env._active = None
+                self._gen.throw(SimulationError(
+                    f"process {self.name!r} yielded non-event {out!r}"))
+                return  # pragma: no cover
+            if out.callbacks is not None:
+                # Not yet processed: register and suspend.
+                out.callbacks.append(self._resume)
+                self._target = out
+                env._active = None
+                return
+            # Already processed: continue synchronously with its value.
+            event = out
+
+
+class ConditionEvent(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("mixing events from different environments")
+        self._remaining = 0
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev, immediate=True)
+            else:
+                self._remaining += 1
+                ev.callbacks.append(self._on_fire)
+        if not self.triggered:
+            self._finalize_empty()
+
+    def _finalize_empty(self) -> None:
+        raise NotImplementedError
+
+    def _check(self, ev: Event, immediate: bool = False) -> None:
+        raise NotImplementedError
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._remaining -= 1
+        self._check(ev)
+
+
+class AllOf(ConditionEvent):
+    """Fires (with the list of all values) when every child has fired."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([ev.value for ev in self._events])
+
+    def _check(self, ev: Event, immediate: bool = False) -> None:
+        if not immediate and self._remaining == 0 and not self.triggered:
+            self.succeed([e.value for e in self._events])
+        elif immediate and not ev._ok:
+            self.fail(ev._value)
+
+
+class AnyOf(ConditionEvent):
+    """Fires with the (first) firing child's value."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if not self._events and not self.triggered:
+            self.succeed(None)
+
+    def _check(self, ev: Event, immediate: bool = False) -> None:
+        if not self.triggered:
+            if ev._ok:
+                self.succeed(ev._value)
+            else:
+                self.fail(ev._value)
+
+
+class Environment:
+    """The simulation clock plus the event queue.
+
+    Parameters
+    ----------
+    max_events:
+        Backstop against runaway protocols.
+    strict:
+        When True (the default), an uncaught exception inside any process
+        aborts :meth:`run` immediately -- the right behaviour for tests.
+    """
+
+    def __init__(self, max_events: int = 200_000_000, strict: bool = True) -> None:
+        self._now = 0
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._nprocesses = 0
+        self._active: Process | None = None
+        self.max_events = max_events
+        self.strict = strict
+        self.events_processed = 0
+        self.tracer = None  # installed by sim.trace.Tracer when wanted
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- event construction ----------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None, priority: int = NORMAL) -> Timeout:
+        return Timeout(self, delay, value=value, priority=priority)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+
+    # -- main loop ---------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self.events_processed += 1
+        if self.tracer is not None:
+            self.tracer.record(self._now, event)
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Event | int | None = None) -> Any:
+        """Run until ``until`` fires (event), the clock passes ``until``
+        (int), or the queue drains.
+
+        Returns the value of ``until`` when it is an event.
+        """
+        stop_event: Event | None = None
+        stop_time: int | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = int(until)
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value if stop_event._ok else None
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            if self.events_processed >= self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events} "
+                    f"(simulated t={self._now}ns) -- runaway protocol?")
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value if stop_event._ok else None
+            raise DeadlockError(self._nprocesses, self._now)
+        if self._nprocesses > 0:
+            raise DeadlockError(self._nprocesses, self._now)
+        return None

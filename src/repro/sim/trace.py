@@ -1,0 +1,74 @@
+"""Event tracing and operation counting.
+
+`Tracer` records raw kernel events (for debugging).  `OpCounters` is the
+workhorse for the scalability assertions in the test suite: the paper claims
+O(log p) time/space and O(k) messages for its protocols, and we verify those
+claims by *counting* actual simulated operations rather than trusting the
+analytic model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["Tracer", "OpCounters"]
+
+
+class Tracer:
+    """Optional raw event recorder; install with ``env.tracer = Tracer()``."""
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.records: list[tuple[int, str]] = []
+        self.limit = limit
+
+    def record(self, now: int, event) -> None:
+        if len(self.records) < self.limit:
+            self.records.append((now, event.name or type(event).__name__))
+
+
+@dataclass
+class OpCounters:
+    """Per-run operation counters, aggregated across all ranks.
+
+    ``remote_ops[rank]`` counts RDMA operations *issued by* each rank;
+    ``nic_ops[rank]`` counts operations *serviced at* each rank's NIC
+    (useful for hot-spot analysis); ``bytes_moved`` counts payload bytes on
+    the network; ``control_memory[rank]`` tracks the peak number of
+    control words (lock variables, matching-list slots, descriptors) a
+    protocol allocated at each rank -- the paper's "memory overhead".
+    """
+
+    remote_ops: Counter = field(default_factory=Counter)
+    nic_ops: Counter = field(default_factory=Counter)
+    bytes_moved: int = 0
+    messages: int = 0
+    control_memory: Counter = field(default_factory=Counter)
+    by_kind: Counter = field(default_factory=Counter)
+
+    def count_issue(self, origin: int, kind: str, nbytes: int = 0) -> None:
+        self.remote_ops[origin] += 1
+        self.by_kind[kind] += 1
+        self.bytes_moved += nbytes
+        self.messages += 1
+
+    def count_service(self, target: int) -> None:
+        self.nic_ops[target] += 1
+
+    def add_control_memory(self, rank: int, words: int) -> None:
+        self.control_memory[rank] += words
+
+    def max_remote_ops(self) -> int:
+        return max(self.remote_ops.values(), default=0)
+
+    def max_control_memory(self) -> int:
+        return max(self.control_memory.values(), default=0)
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes_moved": self.bytes_moved,
+            "max_remote_ops": self.max_remote_ops(),
+            "max_control_memory": self.max_control_memory(),
+            "by_kind": dict(self.by_kind),
+        }

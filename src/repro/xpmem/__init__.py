@@ -1,0 +1,14 @@
+"""XPMEM-like intra-node substrate.
+
+Models the Linux kernel module the paper uses for intra-node transfers:
+a process *exposes* a memory segment, peers on the same node *attach* it
+into their own address space, and all subsequent communication is plain
+loads/stores (an SSE-optimized copy loop in foMPI) plus CPU atomics.
+Because attached memory is accessed by the CPU, copies cannot overlap with
+computation -- the reason the XPMEM curves are absent from the overlap
+benchmark (Figure 5a).
+"""
+
+from repro.xpmem.api import XpmemEndpoint, XpmemSegment
+
+__all__ = ["XpmemEndpoint", "XpmemSegment"]

@@ -1,0 +1,75 @@
+"""DSDE: all five protocols must deliver identical multisets."""
+
+import pytest
+
+from repro import run_spmd
+from repro.apps.dsde import dsde_program, expected_incoming
+from repro.apps.dsde.common import make_targets
+from repro.config import MachineConfig, SimConfig
+
+INTER = MachineConfig(ranks_per_node=1)
+PROTOS = ["alltoall", "reduce_scatter", "nbx", "rma", "rma_cray22"]
+
+
+def _run(protocol, p, k=3):
+    sim = SimConfig()
+    res = run_spmd(dsde_program, p, protocol, k, machine=INTER, sim=sim)
+    want = expected_incoming(sim.seed, p, k)
+    for r, (elapsed, received) in enumerate(res.returns):
+        assert received == want[r], (protocol, r)
+        assert elapsed > 0
+    return res
+
+
+@pytest.mark.parametrize("protocol", PROTOS)
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_delivery_correct(protocol, p):
+    _run(protocol, p)
+
+
+@pytest.mark.parametrize("protocol", PROTOS)
+def test_nonpow2(protocol):
+    _run(protocol, 5, k=2)
+
+
+def test_targets_are_distinct_and_not_self():
+    for rank in range(10):
+        t = make_targets(42, rank, 10, 6)
+        assert len(t) == len(set(t)) == 6
+        assert rank not in t
+
+
+def test_targets_capped_for_small_worlds():
+    assert make_targets(1, 0, 1, 6) == []
+    assert len(make_targets(1, 0, 3, 6)) == 2
+
+
+def test_alltoall_grows_faster_than_rma():
+    """Figure 7b's shape: the dense alltoall grows ~linearly with p while
+    the RMA protocol grows only with the fence's log p."""
+    k = 3
+
+    def t(proto, p):
+        return max(t for t, _ in _run(proto, p, k).returns)
+
+    a2a_growth = t("alltoall", 32) / t("alltoall", 4)
+    rma_growth = t("rma", 32) / t("rma", 4)
+    assert a2a_growth > 2 * rma_growth
+
+
+def test_rma_competitive_with_nbx():
+    """The paper: 'The RMA-based implementation is competitive with the
+    nonblocking barrier, which was proved optimal'."""
+    p, k = 16, 3
+    t_nbx = max(t for t, _ in _run("nbx", p, k).returns)
+    t_rma = max(t for t, _ in _run("rma", p, k).returns)
+    assert t_rma < 3 * t_nbx
+
+
+def test_cray22_rma_much_slower_than_fompi():
+    """Figure 7b: the foMPI accumulates beat Cray MPI-2.2's by a wide
+    margin (paper: 'a factor of two and nearly two orders of magnitude')."""
+    p, k = 8, 3
+    t_c22 = max(t for t, _ in _run("rma_cray22", p, k).returns)
+    t_rma = max(t for t, _ in _run("rma", p, k).returns)
+    assert t_c22 > 1.5 * t_rma

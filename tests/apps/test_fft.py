@@ -1,0 +1,92 @@
+"""Distributed 3-D FFT: numerical correctness + overlap benefit."""
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.apps.fft import FftSpec, ProcessGrid, fft_program, gather_result
+from repro.apps.fft.parallel import _initial_block
+from repro.config import MachineConfig
+
+INTER = MachineConfig(ranks_per_node=1)
+VARIANTS = ["mpi1", "rma_overlap", "upc_overlap"]
+
+
+def _reference(spec: FftSpec) -> np.ndarray:
+    full = _initial_block(spec, 0, 0, spec.ny, spec.nz)
+    return np.fft.fftn(full)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_fft_matches_numpy(variant, p):
+    spec = FftSpec(nx=8, ny=8, nz=8, chunks=2)
+    box = {}
+    res = run_spmd(fft_program, p, spec, variant, box, machine=INTER)
+    got = gather_result(spec, p, box)
+    ref = _reference(spec)
+    np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+    for elapsed, gflops in res.returns:
+        assert elapsed > 0 and gflops > 0
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_fft_nonsquare_grid(variant):
+    spec = FftSpec(nx=8, ny=16, nz=4, chunks=3)
+    p = 8  # grid 4x2: Py=4 divides 8 and 16; Pz=2 divides 4 and 16
+    box = {}
+    run_spmd(fft_program, p, spec, variant, box, machine=INTER)
+    got = gather_result(spec, p, box)
+    np.testing.assert_allclose(got, _reference(spec), rtol=1e-9, atol=1e-9)
+
+
+def test_process_grid_factorization():
+    assert ProcessGrid.for_ranks(16) == ProcessGrid(4, 4)
+    assert ProcessGrid.for_ranks(8) == ProcessGrid(4, 2)
+    assert ProcessGrid.for_ranks(7) == ProcessGrid(7, 1)
+    assert ProcessGrid.for_ranks(1) == ProcessGrid(1, 1)
+
+
+def test_process_grid_groups():
+    g = ProcessGrid(2, 2)
+    assert g.row_group(0) == [0, 2]
+    assert g.col_group(0) == [0, 1]
+    assert g.row_group(3) == [1, 3]
+
+
+def test_grid_divisibility_check():
+    with pytest.raises(ValueError):
+        ProcessGrid(3, 1).check_divides(8, 8, 8)
+
+
+def test_overlap_variant_faster_when_comm_bound():
+    """Figure 7c: the slab-overlap schedule beats nonblocking MPI once
+    communication is a significant fraction of the runtime."""
+    # Balanced compute/comm (both ~20 us per phase) is where overlap pays.
+    spec = FftSpec(nx=32, ny=32, nz=32, flop_rate=1.2e10, chunks=4)
+    p = 4
+    t_mpi = max(e for e, _ in
+                run_spmd(fft_program, p, spec, "mpi1", machine=INTER).returns)
+    t_rma = max(e for e, _ in
+                run_spmd(fft_program, p, spec, "rma_overlap",
+                         machine=INTER).returns)
+    assert t_rma < 0.9 * t_mpi, (t_rma, t_mpi)
+
+
+def test_rma_and_upc_overlap_comparable():
+    spec = FftSpec(nx=32, ny=32, nz=32, flop_rate=1.2e10, chunks=4)
+    p = 4
+    t_upc = max(e for e, _ in
+                run_spmd(fft_program, p, spec, "upc_overlap",
+                         machine=INTER).returns)
+    t_rma = max(e for e, _ in
+                run_spmd(fft_program, p, spec, "rma_overlap",
+                         machine=INTER).returns)
+    # foMPI has slightly lower static overhead than UPC (paper 4.3)
+    assert t_rma <= t_upc * 1.05
+
+
+def test_flop_model():
+    spec = FftSpec(nx=8, ny=8, nz=8)
+    assert spec.total_flops() == pytest.approx(5 * 512 * 9)
+    assert spec.fft_ns(4, 8) == pytest.approx(5 * 4 * 8 * 3 / 2.0e9 * 1e9)

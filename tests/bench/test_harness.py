@@ -1,0 +1,64 @@
+"""Harness utilities: Series, tables, geomean, ASCII charts."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import Series, format_series_table, format_table, geomean
+from repro.bench.report import ascii_chart
+
+
+def test_series_add_and_dict():
+    s = Series(label="x", meta={"unit": "us"})
+    s.add(1, 2.0)
+    s.add(10, 3.5)
+    d = s.as_dict()
+    assert d == {"label": "x", "xs": [1, 10], "ys": [2.0, 3.5], "unit": "us"}
+
+
+def test_geomean():
+    assert geomean([1, 100]) == pytest.approx(10.0)
+    assert geomean([]) == 0.0
+    assert geomean([0, 4]) == pytest.approx(4.0)  # zeros skipped
+
+
+def test_format_table_alignment():
+    out = format_table("T", ["a", "bb"], [[1, 2.5], [100, 0.001]])
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "bb" in lines[2]
+    assert all(len(l) == len(lines[2]) for l in lines[2:])
+
+
+def test_format_table_float_rendering():
+    out = format_table("T", ["v"], [[1234.5678], [0.0001234], [0.0], [3.25]])
+    assert "1.23e+03" in out or "1230" in out or "1.23e+03" in out
+    assert "0" in out
+    assert "3.25" in out
+
+
+def test_format_series_table_merges_x_axes():
+    s1 = Series(label="a", xs=[1, 2], ys=[10, 20])
+    s2 = Series(label="b", xs=[2, 3], ys=[200, 300])
+    out = format_series_table("T", "x", [s1, s2])
+    lines = out.splitlines()
+    assert len(lines) == 4 + 3  # header block + 3 x values
+    assert "300" in lines[-1]
+
+
+def test_ascii_chart_renders():
+    s1 = Series(label="lin", xs=[1, 10, 100], ys=[1, 10, 100])
+    s2 = Series(label="flat", xs=[1, 10, 100], ys=[5, 5, 5])
+    out = ascii_chart("C", [s1, s2], width=32, height=8)
+    assert "C" in out
+    assert "legend:" in out
+    assert "o" in out and "x" in out
+
+
+def test_ascii_chart_empty():
+    assert "(no data)" in ascii_chart("E", [Series(label="e")])
+
+
+def test_ascii_chart_nonpositive_filtered():
+    s = Series(label="s", xs=[1, 2], ys=[0, -1])
+    assert "(no data)" in ascii_chart("E", [s])

@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def env():
+    """A fresh strict DES environment."""
+    return Environment()

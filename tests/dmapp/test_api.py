@@ -1,0 +1,178 @@
+"""DMAPP endpoint semantics: completion ordering, handles, gsync."""
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.config import MachineConfig
+from repro.dmapp.amo import AMO_OPS, amo_supported
+from repro.errors import SimulationError
+
+INTER = MachineConfig(ranks_per_node=1)
+
+
+def _with_window(body):
+    """Boilerplate: register a 256-B segment on every rank."""
+    def program(ctx):
+        seg = ctx.space.alloc(256, label="buf")
+        desc = ctx.reg.register(seg)
+        descs = yield from ctx.coll.allgather(desc)
+        yield from ctx.coll.barrier()
+        out = yield from body(ctx, seg, descs)
+        yield from ctx.coll.barrier()
+        return out
+
+    return program
+
+
+def test_amo_supported_predicate():
+    assert amo_supported("add", 8)
+    assert amo_supported("cas", 8)
+    assert not amo_supported("add", 4)   # 8-byte only
+    assert not amo_supported("min", 8)   # not in the NIC set
+    assert "min" not in AMO_OPS
+
+
+def test_put_data_captured_at_issue():
+    def body(ctx, seg, descs):
+        if ctx.rank == 0:
+            buf = np.full(8, 1, np.uint8)
+            yield from ctx.dmapp.put_nbi(descs[1], 0, buf)
+            buf[:] = 77  # mutate after issue
+            yield from ctx.dmapp.gsync()
+        yield from ctx.coll.barrier()
+        return seg.read(0, 8).tolist()
+
+    res = run_spmd(_with_window(body), 2, machine=INTER)
+    assert res.returns[1] == [1] * 8
+
+
+def test_gsync_guarantees_visibility():
+    def body(ctx, seg, descs):
+        if ctx.rank == 0:
+            yield from ctx.dmapp.put_nbi(descs[1], 0, np.full(8, 9, np.uint8))
+            yield from ctx.dmapp.gsync()
+            # after gsync the remote memory is committed
+            return ctx.world.spaces[1].segments[
+                descs[1].seg_id].read(0, 8).tolist()
+        yield from ctx.compute(1)
+        return None
+
+    res = run_spmd(_with_window(body), 2, machine=INTER)
+    assert res.returns[0] == [9] * 8
+
+
+def test_put_not_visible_before_delivery():
+    def body(ctx, seg, descs):
+        if ctx.rank == 0:
+            yield from ctx.dmapp.put_nbi(descs[1], 0, np.full(8, 5, np.uint8))
+            # immediately after issue the data is still in flight
+            early = ctx.world.spaces[1].segments[
+                descs[1].seg_id].read(0, 1)[0]
+            yield from ctx.dmapp.gsync()
+            late = ctx.world.spaces[1].segments[
+                descs[1].seg_id].read(0, 1)[0]
+            return int(early), int(late)
+        yield from ctx.compute(1)
+        return None
+
+    res = run_spmd(_with_window(body), 2, machine=INTER)
+    assert res.returns[0] == (0, 5)
+
+
+def test_explicit_handle_wait():
+    def body(ctx, seg, descs):
+        if ctx.rank == 0:
+            h = yield from ctx.dmapp.put_nb(descs[1], 4, np.full(4, 3, np.uint8))
+            assert h.remote_complete > ctx.now  # still in flight
+            yield from ctx.dmapp.wait(h)
+            assert ctx.now >= h.remote_complete
+            yield from ctx.dmapp.wait_local(h)  # no-op after remote
+        yield from ctx.coll.barrier()
+        return seg.read(4, 4).tolist()
+
+    res = run_spmd(_with_window(body), 2, machine=INTER)
+    assert res.returns[1] == [3] * 4
+
+
+def test_get_out_buffer_size_checked():
+    def body(ctx, seg, descs):
+        if ctx.rank == 0:
+            out = np.zeros(4, np.uint8)
+            with pytest.raises(SimulationError):
+                yield from ctx.dmapp.get_nbi(descs[1], 0, 8, out=out)
+        yield from ctx.compute(1)
+        return None
+
+    run_spmd(_with_window(body), 2, machine=INTER)
+
+
+def test_large_put_chunked():
+    from repro.machine.params import GeminiParams
+
+    n = 3 * (1 << 20) + 5  # > 3 chunks at max_chunk = 1 MiB
+
+    def program(ctx):
+        seg = ctx.space.alloc(n)
+        desc = ctx.reg.register(seg)
+        descs = yield from ctx.coll.allgather(desc, nbytes=32)
+        yield from ctx.coll.barrier()
+        if ctx.rank == 0:
+            data = (np.arange(n) % 251).astype(np.uint8)
+            yield from ctx.dmapp.put_nbi(descs[1], 0, data)
+            yield from ctx.dmapp.gsync()
+        yield from ctx.coll.barrier()
+        return int(seg.typed(np.uint8).sum()) if ctx.rank == 1 else None
+
+    res = run_spmd(program, 2, machine=INTER)
+    expected = int(((np.arange(n) % 251).astype(np.uint64)).sum())
+    assert res.returns[1] == expected
+
+
+def test_amo_stream_empty_rejected():
+    from repro.mem.atomic import AtomicArray
+    from repro.runtime.job import Job, run_on_world
+
+    job = Job(nranks=2, machine=INTER)
+    world = job.build_world()
+    cells = AtomicArray(world.env, 4)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            with pytest.raises(SimulationError):
+                yield from ctx.dmapp.amo_stream_nbi(1, cells, 0, "add", [])
+        yield from ctx.coll.barrier()
+
+    run_on_world(world, program)
+
+
+def test_ops_issued_counter():
+    def body(ctx, seg, descs):
+        if ctx.rank == 0:
+            for _ in range(3):
+                yield from ctx.dmapp.put_nbi(descs[1], 0,
+                                             np.zeros(8, np.uint8))
+            yield from ctx.dmapp.gsync()
+            return ctx.dmapp.ops_issued
+        yield from ctx.compute(1)
+        return None
+
+    res = run_spmd(_with_window(body), 2, machine=INTER)
+    assert res.returns[0] == 3
+
+
+def test_completion_horizon_monotone():
+    def body(ctx, seg, descs):
+        if ctx.rank == 0:
+            h1 = yield from ctx.dmapp.put_nbi(descs[1], 0,
+                                              np.zeros(8, np.uint8))
+            hz1 = ctx.dmapp.completion_horizon
+            yield from ctx.dmapp.put_nbi(descs[1], 0, np.zeros(8, np.uint8))
+            hz2 = ctx.dmapp.completion_horizon
+            assert hz2 >= hz1 >= h1.local_complete
+            yield from ctx.dmapp.gsync()
+            assert ctx.now >= hz2
+        yield from ctx.compute(1)
+        return None
+
+    run_spmd(_with_window(body), 2, machine=INTER)

@@ -1,0 +1,179 @@
+"""Atomic cell arrays: ops, wrap-around, watchers, SegmentCells parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.mem.address_space import AddressSpace
+from repro.mem.atomic import MASK64, AtomicArray, SegmentCells
+from repro.sim.kernel import Environment
+
+
+@pytest.fixture
+def cells(env):
+    return AtomicArray(env, 8, name="t")
+
+
+def test_load_store(cells):
+    cells.store(0, 42)
+    assert cells.load(0) == 42
+    assert len(cells) == 8
+
+
+def test_fadd_returns_old(cells):
+    assert cells.fadd(1, 5) == 0
+    assert cells.fadd(1, 3) == 5
+    assert cells.load(1) == 8
+
+
+def test_fadd_negative_wraps(cells):
+    cells.store(0, 1)
+    cells.fadd(0, -2)
+    assert cells.load(0) == MASK64  # two's complement wrap
+    assert cells.load_signed(0) == -1
+
+
+def test_cas(cells):
+    assert cells.cas(0, 0, 7) == 0
+    assert cells.load(0) == 7
+    assert cells.cas(0, 0, 9) == 7  # fails, returns current
+    assert cells.load(0) == 7
+
+
+def test_swap(cells):
+    cells.store(0, 3)
+    assert cells.swap(0, 10) == 3
+    assert cells.load(0) == 10
+
+
+@pytest.mark.parametrize("op,a,b,expect", [
+    ("add", 5, 3, 8),
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("or", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("min", 5, 3, 3),
+    ("min", 3, 5, 3),
+    ("max", 5, 3, 5),
+    ("replace", 5, 3, 3),
+])
+def test_apply_ops(cells, op, a, b, expect):
+    cells.store(0, a)
+    assert cells.apply(0, op, b) == a
+    assert cells.load(0) == expect
+
+
+def test_signed_min_max(cells):
+    cells.store(0, MASK64)  # -1 signed
+    cells.apply(0, "min", 5)
+    assert cells.load_signed(0) == -1
+    cells.apply(0, "max", 5)
+    assert cells.load(0) == 5
+
+
+def test_unknown_op_rejected(cells):
+    with pytest.raises(MemoryError_):
+        cells.apply(0, "mul", 2)
+
+
+def test_index_bounds(cells):
+    with pytest.raises(MemoryError_):
+        cells.load(8)
+    with pytest.raises(MemoryError_):
+        cells.fadd(-1, 1)
+
+
+def test_watcher_immediate(env, cells):
+    cells.store(2, 10)
+    ev = cells.wait_until(2, lambda v: v >= 10)
+    assert ev.triggered and ev.value == 10
+
+
+def test_watcher_fires_on_mutation(env, cells):
+    fired = {}
+
+    def waiter():
+        val = yield cells.wait_until(3, lambda v: v >= 2)
+        fired["val"] = val
+        fired["t"] = env.now
+
+    def mutator():
+        yield env.timeout(10)
+        cells.fadd(3, 1)
+        yield env.timeout(10)
+        cells.fadd(3, 1)  # now the predicate holds
+
+    env.process(waiter())
+    env.process(mutator())
+    env.run()
+    assert fired == {"val": 2, "t": 20}
+
+
+def test_watcher_multiple_waiters(env, cells):
+    hits = []
+
+    def waiter(th):
+        yield cells.wait_until(0, lambda v, t=th: v >= t)
+        hits.append(th)
+
+    env.process(waiter(1))
+    env.process(waiter(3))
+
+    def mutate():
+        yield env.timeout(1)
+        cells.fadd(0, 2)   # wakes threshold 1 only
+        yield env.timeout(1)
+        cells.fadd(0, 2)   # wakes threshold 3
+
+    env.process(mutate())
+    env.run()
+    assert hits == [1, 3]
+
+
+# ---------------------------------------------------------------------------
+# SegmentCells must behave identically to AtomicArray for every op
+# ---------------------------------------------------------------------------
+OPS = ["add", "and", "or", "xor", "min", "max", "replace"]
+
+
+@given(st.lists(st.tuples(st.sampled_from(OPS),
+                          st.integers(-(2**63), 2**63 - 1)),
+                max_size=30))
+def test_segment_cells_match_atomic_array(ops):
+    env = Environment()
+    arr = AtomicArray(env, 1)
+    sp = AddressSpace(0)
+    seg = sp.alloc(8)
+    sc = SegmentCells(seg, 0, signed=True)
+    for op, operand in ops:
+        a_old = arr.apply(0, op, operand)
+        s_old = sc.apply(0, op, operand)
+        assert a_old == s_old
+        assert arr.load(0) == sc.load(0)
+
+
+def test_segment_cells_cas_fadd():
+    sp = AddressSpace(0)
+    seg = sp.alloc(32)
+    sc = SegmentCells(seg, 8)
+    assert sc.fadd(0, 4) == 0
+    assert sc.cas(0, 4, 9) == 4
+    assert sc.load(0) == 9
+    assert sc.swap(1, 3) == 0
+    # base_offset=8: the first 8 bytes of the segment are untouched
+    assert seg.read(0, 8).tolist() == [0] * 8
+
+
+def test_segment_cells_alignment_check():
+    sp = AddressSpace(0)
+    seg = sp.alloc(32)
+    with pytest.raises(MemoryError_):
+        SegmentCells(seg, 3)
+
+
+def test_segment_cells_unknown_op():
+    sp = AddressSpace(0)
+    seg = sp.alloc(8)
+    with pytest.raises(MemoryError_):
+        SegmentCells(seg).apply(0, "nand", 1)

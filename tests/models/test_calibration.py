@@ -1,0 +1,189 @@
+"""Calibration: the simulated microbenchmarks must land on the paper's
+measured performance functions (Section 3) within tolerance.
+
+These are the reproduction's keystone tests: they tie every subsequent
+figure to the paper's numbers.
+"""
+
+import pytest
+
+from repro.bench import microbench as mb
+from repro.bench import syncbench as sb
+from repro.models.fitting import fit_affine, fit_log_linear, relative_error
+from repro.models.params_fompi import paper_model
+
+TOL = 0.25  # 25% tolerance on constants; shapes must be much tighter
+
+
+# ---------------------------------------------------------------------------
+# P_put = 0.16 ns/B * s + 1.0 us ; P_get = 0.17 ns/B * s + 1.9 us
+# ---------------------------------------------------------------------------
+def test_put_latency_function():
+    sizes = [8, 512, 8192, 65536]
+    lats = [mb.put_latency("fompi", s) for s in sizes]
+    a, b = fit_affine(sizes, lats)
+    assert relative_error(a, 1000.0) < TOL, (a, b)
+    assert relative_error(b, 0.16) < TOL, (a, b)
+
+
+def test_get_latency_function():
+    sizes = [8, 512, 8192, 65536]
+    lats = [mb.get_latency("fompi", s) for s in sizes]
+    a, b = fit_affine(sizes, lats)
+    assert relative_error(a, 1900.0) < TOL, (a, b)
+    assert relative_error(b, 0.17) < TOL, (a, b)
+
+
+def test_latency_ordering_small_messages():
+    """Figure 4a at 8 B: foMPI < MPI-1 < UPC < CAF << MPI-2.2."""
+    lat = {t: mb.put_latency(t, 8) for t in mb.LATENCY_TRANSPORTS}
+    assert lat["fompi"] < lat["mpi1"] < lat["upc"] < lat["caf"] < lat["cray22"]
+
+
+def test_bandwidth_converges_at_large_messages():
+    """All transports approach wire bandwidth for 256 KiB transfers."""
+    size = 256 * 1024
+    lats = {t: mb.put_latency(t, size) for t in ("fompi", "upc", "cray22")}
+    wire = size * 0.16
+    for t, lat in lats.items():
+        assert lat < wire * 1.6, (t, lat, wire)
+
+
+def test_intra_node_put_faster_than_inter():
+    intra = mb.put_latency("fompi", 8, intra=True)
+    inter = mb.put_latency("fompi", 8, intra=False)
+    assert intra < 0.4 * inter
+    assert 100 <= intra <= 700  # well below inter-node (Figure 4c)
+
+
+def test_intra_node_get_pays_cache_latency():
+    lat = mb.get_latency("fompi", 8, intra=True)
+    assert 250 <= lat <= 700  # ~0.35-0.4 us floor (Figure 4c)
+
+
+# ---------------------------------------------------------------------------
+# message rates: 416 ns inter-node, 80 ns intra-node per 8-B message
+# ---------------------------------------------------------------------------
+def test_message_rate_inter_node():
+    rate = mb.message_rate("fompi", 8, nmsgs=500)
+    assert relative_error(rate, 1e9 / 416) < TOL, rate
+
+
+def test_message_rate_intra_node():
+    rate = mb.message_rate("fompi", 8, intra=True, nmsgs=500)
+    assert relative_error(rate, 1e9 / 80) < 0.6, rate  # ~12.5 M/s
+
+
+def test_message_rate_bandwidth_limited_large():
+    r64k = mb.message_rate("fompi", 65536, nmsgs=300)
+    bandwidth_bound = 1e9 / (65536 * 0.16)
+    assert relative_error(r64k, bandwidth_bound) < 0.3, r64k
+
+
+# ---------------------------------------------------------------------------
+# overlap (Figure 5a): ramps up with size; MPI-2.2 higher at small sizes
+# ---------------------------------------------------------------------------
+def test_overlap_ramps_with_size():
+    small = mb.overlap_fraction("fompi", 64)
+    large = mb.overlap_fraction("fompi", 262144)
+    assert large > 0.85
+    assert small < large
+
+
+def test_cray22_overlap_higher_at_small_sizes():
+    fompi = mb.overlap_fraction("fompi", 64)
+    cray = mb.overlap_fraction("cray22", 64)
+    assert cray > fompi
+
+
+# ---------------------------------------------------------------------------
+# atomics (Figure 6a)
+# ---------------------------------------------------------------------------
+def test_atomic_sum_model():
+    ns = [1, 64, 1024]
+    lats = [mb.atomic_latency("fompi_sum", n) for n in ns]
+    a, b = fit_affine(ns, lats)
+    assert relative_error(a, 2400.0) < TOL, (a, b)
+    assert relative_error(b, 28.0) < TOL, (a, b)
+
+
+def test_atomic_cas_constant():
+    lat = mb.atomic_latency("fompi_cas", 1)
+    assert relative_error(lat, 2400.0) < TOL, lat
+
+
+def test_atomic_min_fallback_base():
+    lat = mb.atomic_latency("fompi_min", 1)
+    assert relative_error(lat, 7300.0) < 0.35, lat
+
+
+def test_atomic_crossover_min_beats_sum():
+    """The locked (fallback) protocol exhibits higher bandwidth."""
+    n = 65536
+    t_min = mb.atomic_latency("fompi_min", n, reps=1)
+    t_sum = mb.atomic_latency("fompi_sum", n, reps=1)
+    assert t_min < t_sum
+
+
+def test_upc_aadd_close_to_fompi_sum():
+    upc = mb.atomic_latency("upc_aadd", 1)
+    fompi = mb.atomic_latency("fompi_sum", 1)
+    assert relative_error(upc, fompi) < 0.2
+
+
+# ---------------------------------------------------------------------------
+# P_fence = 2.9 us * log2 p (Figure 6b)
+# ---------------------------------------------------------------------------
+def test_fence_model():
+    ps = [2, 8, 32, 128]
+    lats = [sb.global_sync_latency("fompi", p) for p in ps]
+    a, b = fit_log_linear(ps, lats)
+    assert relative_error(b, 2900.0) < TOL, (a, b)
+
+
+def test_global_sync_ordering():
+    """Figure 6b ordering at moderate p: upc < caf < fompi < cray22."""
+    p = 32
+    lat = {t: sb.global_sync_latency(t, p)
+           for t in ("fompi", "upc", "caf", "cray22")}
+    assert lat["upc"] < lat["caf"] < lat["fompi"] < lat["cray22"]
+
+
+# ---------------------------------------------------------------------------
+# PSCW (Figure 6c): foMPI ~constant, Cray grows
+# ---------------------------------------------------------------------------
+def test_pscw_fompi_roughly_constant():
+    t8 = sb.pscw_ring_latency("fompi", 8, ranks_per_node=1)
+    t64 = sb.pscw_ring_latency("fompi", 64, ranks_per_node=1)
+    assert t64 < t8 * 2.0, (t8, t64)
+
+
+def test_pscw_total_cost_near_paper_sum():
+    """P_post + P_start + P_complete + P_wait at k=2 ~ 0.7+1.8+2*0.7 us."""
+    t = sb.pscw_ring_latency("fompi", 8, ranks_per_node=1)
+    paper = (paper_model("post")(k=2) + paper_model("complete")(k=2)
+             + paper_model("start")() + paper_model("wait")())
+    assert relative_error(t, paper) < 0.8, (t, paper)
+
+
+def test_pscw_cray_grows():
+    t4 = sb.pscw_ring_latency("cray22", 4, ranks_per_node=1)
+    t64 = sb.pscw_ring_latency("cray22", 64, ranks_per_node=1)
+    assert t64 > t4 * 1.2
+
+
+# ---------------------------------------------------------------------------
+# lock constants (Section 3.2)
+# ---------------------------------------------------------------------------
+def test_lock_constants():
+    c = sb.lock_constants()
+    assert relative_error(c["lock_excl"], 5400.0) < TOL, c
+    assert relative_error(c["lock_shrd"], 2700.0) < TOL, c
+    assert relative_error(c["lock_all"], 2700.0) < TOL, c
+    assert relative_error(c["unlock"], 400.0) < 0.4, c
+    # last exclusive unlock pays one extra atomic (paper Section 2.3)
+    assert 1.6 <= c["unlock_excl_last"] / c["unlock"] <= 2.4, c
+    assert c["flush"] <= 200.0, c          # P_flush = 76 ns (nothing pending)
+    assert c["sync"] <= 60.0, c            # P_sync = 17 ns
+    # exclusive ~ 2x shared (two AMOs vs one)
+    assert 1.6 <= c["lock_excl"] / c["lock_shrd"] <= 2.4

@@ -1,0 +1,86 @@
+"""Cray MPI-2.2 baseline coverage beyond the comparative tests."""
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.config import MachineConfig
+from repro.errors import EpochError
+from repro.rma.cray22 import Cray22Params, win_allocate_cray22
+
+INTER = MachineConfig(ranks_per_node=1)
+
+
+def test_put_get_roundtrip():
+    def prog(ctx):
+        win = yield from win_allocate_cray22(ctx, 1024)
+        yield from ctx.coll.barrier()
+        out = None
+        if ctx.rank == 0:
+            yield from win.put(np.full(16, 5, np.uint8), 1, 0)
+            yield from win.flush(1)
+            buf = np.zeros(16, np.uint8)
+            yield from win.get(buf, 1, 0)
+            out = buf.tolist()
+        yield from ctx.coll.barrier()
+        return out
+
+    res = run_spmd(prog, 2, machine=INTER)
+    assert res.returns[0] == [5] * 16
+
+
+def test_fence_makes_puts_visible():
+    def program(ctx):
+        win = yield from win_allocate_cray22(ctx, 256)
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.put(np.full(8, 3, np.uint8), 1, 0)
+        yield from win.fence()
+        return int(win.seg.read(0, 1)[0])
+
+    res = run_spmd(program, 2, machine=INTER)
+    assert res.returns[1] == 3
+
+
+def test_accumulate_sums():
+    def program(ctx):
+        win = yield from win_allocate_cray22(ctx, 256)
+        win.seg.typed(np.int64)[:] = 0
+        yield from win.fence()
+        yield from win.accumulate(np.array([ctx.rank + 1], np.int64), 0, 0)
+        yield from win.fence()
+        return int(win.seg.typed(np.int64)[0])
+
+    res = run_spmd(program, 3, machine=INTER)
+    assert res.returns[0] == 6
+
+
+def test_lock_epoch_guard():
+    def program(ctx):
+        win = yield from win_allocate_cray22(ctx, 64)
+        yield from win.lock(1)
+        with pytest.raises(EpochError):
+            yield from win.lock(1)
+        yield from win.unlock(1)
+        yield from ctx.coll.barrier()
+
+    run_spmd(program, 2, machine=INTER)
+
+
+def test_custom_params():
+    p = Cray22Params(sw_put_remote=20000.0)
+
+    def program(ctx):
+        win = yield from win_allocate_cray22(ctx, 64, p)
+        yield from ctx.coll.barrier()
+        dt = None
+        if ctx.rank == 0:
+            t0 = ctx.now
+            yield from win.put(np.zeros(8, np.uint8), 1, 0)
+            yield from win.flush(1)
+            dt = ctx.now - t0
+        yield from ctx.coll.barrier()
+        return dt
+
+    res = run_spmd(program, 2, machine=INTER)
+    assert res.returns[0] > 20000

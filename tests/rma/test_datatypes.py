@@ -1,0 +1,200 @@
+"""Derived datatype engine: block decomposition + typed communication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_spmd
+from repro.config import MachineConfig
+from repro.errors import DatatypeError
+from repro.rma.datatypes import (
+    BYTE,
+    DOUBLE,
+    INT64,
+    Contiguous,
+    Hvector,
+    Indexed,
+    Struct,
+    Vector,
+    coalesce,
+    zip_blocks,
+)
+
+INTER = MachineConfig(ranks_per_node=1)
+
+
+# ---------------------------------------------------------------------------
+# pure datatype algebra
+# ---------------------------------------------------------------------------
+def test_predefined_single_block():
+    assert list(DOUBLE.blocks(4)) == [(0, 32)]
+    assert DOUBLE.is_contiguous(16)
+
+
+def test_contiguous_flattens():
+    t = Contiguous(4, INT64)
+    assert t.size == 32 and t.extent == 32
+    assert list(t.blocks(2)) == [(0, 64)]
+
+
+def test_vector_blocks():
+    # 3 blocks of 2 doubles, stride 4 elements
+    t = Vector(3, 2, 4, DOUBLE)
+    assert t.size == 48
+    assert list(t.blocks()) == [(0, 16), (32, 16), (64, 16)]
+
+
+def test_vector_contiguous_when_stride_equals_blocklen():
+    t = Vector(3, 2, 2, DOUBLE)
+    assert list(t.blocks()) == [(0, 48)]  # coalesced to one block
+
+
+def test_hvector_byte_stride():
+    t = Hvector(2, 1, 24, INT64)
+    assert list(t.blocks()) == [(0, 8), (24, 8)]
+
+
+def test_indexed_blocks():
+    t = Indexed([2, 1], [0, 5], INT64)
+    assert t.size == 24
+    assert list(t.blocks()) == [(0, 16), (40, 8)]
+
+
+def test_struct_blocks():
+    t = Struct([2, 4], [0, 16], [INT64, BYTE])
+    assert t.size == 20
+    assert list(t.blocks()) == [(0, 20)]  # adjacent: coalesced
+
+
+def test_coalesce_merges_adjacent():
+    assert list(coalesce([(0, 4), (4, 4), (12, 4)])) == [(0, 8), (12, 4)]
+    assert list(coalesce([])) == []
+    assert list(coalesce([(0, 0), (0, 4)])) == [(0, 4)]
+
+
+def test_zip_blocks_alignment():
+    o = [(0, 10), (20, 6)]
+    t = [(100, 4), (200, 12)]
+    assert list(zip_blocks(o, t)) == [
+        (0, 100, 4), (4, 200, 6), (20, 206, 6)]
+
+
+def test_zip_blocks_size_mismatch_raises():
+    with pytest.raises(DatatypeError):
+        list(zip_blocks([(0, 8)], [(0, 4)]))
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 16)),
+                max_size=20))
+def test_coalesce_preserves_total_bytes(blocks):
+    total = sum(n for _, n in blocks)
+    merged = list(coalesce(sorted(blocks)))
+    # coalescing may merge overlapping inputs; with disjoint sorted input
+    # totals are preserved -- build disjoint input:
+    disjoint = []
+    cursor = 0
+    for _off, n in blocks:
+        disjoint.append((cursor, n))
+        cursor += n + 1
+    merged = list(coalesce(disjoint))
+    assert sum(n for _, n in merged) == total
+
+
+@settings(max_examples=50)
+@given(count=st.integers(1, 5), blocklen=st.integers(1, 4),
+       stride=st.integers(1, 8))
+def test_vector_size_invariant(count, blocklen, stride):
+    stride = max(stride, blocklen)  # MPI requires non-overlapping here
+    t = Vector(count, blocklen, stride, INT64)
+    blocks = list(t.blocks())
+    assert sum(n for _, n in blocks) == t.size == count * blocklen * 8
+    # blocks are disjoint and sorted
+    for (o1, n1), (o2, _n2) in zip(blocks, blocks[1:]):
+        assert o1 + n1 <= o2
+
+
+# ---------------------------------------------------------------------------
+# typed communication
+# ---------------------------------------------------------------------------
+def test_put_strided_target():
+    """Put a contiguous origin buffer into every other target element --
+    a halo-exchange access pattern."""
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(256, disp_unit=1)
+        yield from win.fence()
+        if ctx.rank == 0:
+            data = np.arange(4, dtype=np.int64) + 1
+            tdt = Vector(4, 1, 2, INT64)
+            yield from win.put(data, 1, 0, origin_datatype=Contiguous(4, INT64),
+                               target_datatype=tdt, count=1)
+        yield from win.fence()
+        return win.local_view(np.int64)[:8].tolist()
+
+    res = run_spmd(program, 2, machine=INTER)
+    assert res.returns[1] == [1, 0, 2, 0, 3, 0, 4, 0]
+
+
+def test_get_strided_origin():
+    """Gather every other target element into a contiguous origin buffer."""
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(256)
+        win.local_view(np.int64)[:8] = np.arange(8) * 10
+        yield from win.fence()
+        out = np.zeros(4, dtype=np.int64)
+        if ctx.rank == 0:
+            yield from win.get(out, 1, 0,
+                               origin_datatype=Contiguous(4, INT64),
+                               target_datatype=Vector(4, 1, 2, INT64),
+                               count=1)
+        yield from win.fence()
+        return out.tolist()
+
+    res = run_spmd(program, 2, machine=INTER)
+    assert res.returns[0] == [0, 20, 40, 60]
+
+
+def test_noncontiguous_issues_one_op_per_block():
+    """Section 2.4: one DMAPP operation per contiguous block."""
+    from repro.runtime.job import Job, run_on_world
+
+    job = Job(nranks=2, machine=INTER)
+    world = job.build_world()
+
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(4096)
+        yield from win.fence()
+        before = world.counters.by_kind.get("put", 0)
+        nblocks = None
+        if ctx.rank == 0:
+            data = np.arange(8, dtype=np.int64)
+            yield from win.put(data, 1, 0,
+                               origin_datatype=Contiguous(8, INT64),
+                               target_datatype=Vector(8, 1, 2, INT64),
+                               count=1)
+            nblocks = world.counters.by_kind.get("put", 0) - before
+        yield from win.fence()
+        return nblocks
+
+    res = run_on_world(world, program)
+    assert res.returns[0] == 8
+
+
+def test_typed_put_roundtrip_matrix_transpose_pattern():
+    """Column of a row-major matrix -> contiguous target (FFT packing)."""
+    rows = cols = 4
+
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(rows * 8)
+        yield from win.fence()
+        if ctx.rank == 0:
+            mat = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+            col_t = Vector(rows, 1, cols, INT64)
+            yield from win.put(mat, 1, 0, origin_datatype=col_t,
+                               target_datatype=Contiguous(rows, INT64),
+                               count=1)
+        yield from win.fence()
+        return win.local_view(np.int64)[:rows].tolist()
+
+    res = run_spmd(program, 2, machine=INTER)
+    assert res.returns[1] == [0, 4, 8, 12]  # first column

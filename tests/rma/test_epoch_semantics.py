@@ -1,0 +1,195 @@
+"""MPI-3 epoch rules: misuse must raise the right errors."""
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.config import MachineConfig
+from repro.errors import EpochError, LockError
+from repro.rma.enums import LockType
+
+INTER = MachineConfig(ranks_per_node=1)
+
+
+def _two_rank(program):
+    return run_spmd(program, 2, machine=INTER)
+
+
+def test_complete_without_start():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        with pytest.raises(EpochError):
+            yield from win.complete()
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_wait_without_post():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        with pytest.raises(EpochError):
+            yield from win.wait()
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_double_post_rejected():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        if ctx.rank == 0:
+            yield from win.post([1])
+            with pytest.raises(EpochError):
+                yield from win.post([1])
+            yield from ctx.coll.barrier()
+            yield from win.wait()
+        else:
+            yield from ctx.coll.barrier()
+            yield from win.start([0])
+            yield from win.complete()
+
+    _two_rank(program)
+
+
+def test_post_to_self_rejected():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        with pytest.raises(EpochError):
+            yield from win.post([ctx.rank])
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_start_during_lock_epoch_rejected():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        if ctx.rank == 0:
+            yield from win.lock(1, LockType.SHARED)
+            with pytest.raises(EpochError):
+                yield from win.start([1])
+            yield from win.unlock(1)
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_lock_during_pscw_rejected():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        if ctx.rank == 0:
+            yield from ctx.coll.barrier()
+            yield from win.start([1])
+            with pytest.raises(LockError):
+                yield from win.lock(1)
+            yield from win.complete()
+        else:
+            yield from win.post([0])
+            yield from ctx.coll.barrier()
+            yield from win.wait()
+
+    _two_rank(program)
+
+
+def test_flush_outside_epoch_rejected():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        with pytest.raises(EpochError):
+            yield from win.flush(0)
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_unlock_all_without_lock_all():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        with pytest.raises(LockError):
+            yield from win.unlock_all()
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_double_lock_all():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        yield from win.lock_all()
+        with pytest.raises(LockError):
+            yield from win.lock_all()
+        yield from win.unlock_all()
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_free_while_locked_rejected():
+    from repro.errors import RmaError
+
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        yield from win.lock_all()
+        with pytest.raises(RmaError):
+            yield from win.free()
+        yield from win.unlock_all()
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_accumulate_requires_epoch():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64, disp_unit=8)
+        with pytest.raises(EpochError):
+            yield from win.accumulate(np.ones(1, np.int64), 0, 0)
+        with pytest.raises(EpochError):
+            yield from win.fetch_and_op(np.int64(1), 0, 0)
+        with pytest.raises(EpochError):
+            yield from win.compare_and_swap(np.int64(0), np.int64(1), 0, 0)
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)
+
+
+def test_pscw_matching_list_overflow():
+    """More concurrent posts than the ring capacity must fail loudly --
+    the paper's protocol assumes a known bound k."""
+    from repro.errors import RmaError
+    from repro.rma.params import FompiParams
+
+    params = FompiParams(pscw_ring_capacity=2)
+
+    def program(ctx):
+        ctx.rma.params = params
+        win = yield from ctx.rma.win_allocate(64)
+        if ctx.rank == 0:
+            yield from ctx.compute(50_000)  # let posters overflow rank 0
+            yield from ctx.coll.barrier()
+        else:
+            try:
+                yield from win.post([0])
+                yield from ctx.coll.barrier()
+            except RmaError:
+                # overflow surfaces at the poster's NIC operation
+                yield from ctx.coll.barrier()
+            return None
+
+    # 4 posters > capacity 2: the simulation must raise somewhere
+    from repro.errors import RmaError as R
+    with pytest.raises(R):
+        run_spmd(program, 5, machine=INTER)
+
+
+def test_epoch_states_reset_after_cycle():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        for _ in range(3):  # repeated lock cycles are clean
+            yield from win.lock_all()
+            yield from win.unlock_all()
+        assert win.epoch_access is None
+        yield from win.fence()
+        assert win.epoch_access == "fence"
+        yield from ctx.coll.barrier()
+
+    _two_rank(program)

@@ -1,0 +1,156 @@
+"""Deeper collective-algorithm coverage, incl. property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import run_spmd
+from repro.config import MachineConfig
+from repro.errors import Mpi1Error
+
+INTER = MachineConfig(ranks_per_node=1)
+
+
+@settings(max_examples=8, deadline=None)
+@given(p=st.integers(2, 9), root=st.integers(0, 8))
+def test_bcast_any_root(p, root):
+    root = root % p
+
+    def program(ctx):
+        val = ("payload", root) if ctx.rank == root else None
+        return (yield from ctx.coll.bcast(val, root=root))
+
+    res = run_spmd(program, p, machine=INTER)
+    assert res.returns == [("payload", root)] * p
+
+
+@settings(max_examples=8, deadline=None)
+@given(p=st.integers(1, 10),
+       vals=st.lists(st.integers(-1000, 1000), min_size=10, max_size=10))
+def test_allreduce_arbitrary_values(p, vals):
+    def program(ctx):
+        return (yield from ctx.coll.allreduce(vals[ctx.rank]))
+
+    res = run_spmd(program, p, machine=INTER)
+    assert res.returns == [sum(vals[:p])] * p
+
+
+def test_allreduce_custom_op_max():
+    def program(ctx):
+        return (yield from ctx.coll.allreduce((ctx.rank * 7) % 5, op=max))
+
+    res = run_spmd(program, 6, machine=INTER)
+    expected = max((r * 7) % 5 for r in range(6))
+    assert res.returns == [expected] * 6
+
+
+def test_allreduce_numpy_vectors():
+    def program(ctx):
+        vec = np.full(4, ctx.rank + 1, dtype=np.int64)
+        return (yield from ctx.coll.allreduce(vec))
+
+    res = run_spmd(program, 4, machine=INTER)
+    assert res.returns[0].tolist() == [10, 10, 10, 10]
+
+
+def test_allgather_single_rank():
+    def program(ctx):
+        return (yield from ctx.coll.allgather("only"))
+
+    assert run_spmd(program, 1, machine=INTER).returns == [["only"]]
+
+
+def test_barrier_actually_synchronizes():
+    def program(ctx):
+        yield from ctx.compute(ctx.rank * 10_000)  # skewed arrival
+        yield from ctx.coll.barrier()
+        return ctx.now
+
+    res = run_spmd(program, 4, machine=INTER)
+    slowest_arrival = 3 * 10_000
+    assert all(t >= slowest_arrival for t in res.returns)
+
+
+def test_barrier_scales_logarithmically():
+    def timed(p):
+        def program(ctx):
+            yield from ctx.coll.barrier()
+            t0 = ctx.now
+            yield from ctx.coll.barrier()
+            return ctx.now - t0
+
+        return max(run_spmd(program, p, machine=INTER).returns)
+
+    t2, t16, t64 = timed(2), timed(16), timed(64)
+    assert t16 <= 5 * t2    # log2(16)=4 rounds
+    assert t64 <= 8 * t2    # log2(64)=6 rounds, not 32x
+
+
+def test_reduce_scatter_requires_full_vector():
+    def program(ctx):
+        with pytest.raises(Mpi1Error):
+            yield from ctx.coll.reduce_scatter_block(np.zeros(3))
+        yield from ctx.coll.barrier()
+
+    run_spmd(program, 4, machine=INTER)
+
+
+def test_reduce_scatter_nonpow2_fallback():
+    p = 6
+
+    def program(ctx):
+        vec = np.arange(p, dtype=np.int64) * (ctx.rank + 1)
+        got = yield from ctx.coll.reduce_scatter_block(vec)
+        return int(got)
+
+    res = run_spmd(program, p, machine=INTER)
+    scale = sum(r + 1 for r in range(p))
+    assert res.returns == [i * scale for i in range(p)]
+
+
+def test_alltoall_wrong_length():
+    def program(ctx):
+        with pytest.raises(Mpi1Error):
+            yield from ctx.coll.alltoall([1, 2])
+        yield from ctx.coll.barrier()
+
+    run_spmd(program, 3, machine=INTER)
+
+
+def test_multiple_ibarriers_sequence():
+    def program(ctx):
+        for _ in range(3):
+            ib = ctx.coll.ibarrier()
+            yield from ib.wait()
+        return True
+
+    assert all(run_spmd(program, 4, machine=INTER).returns)
+
+
+def test_ibarrier_test_transitions():
+    def program(ctx):
+        ib = ctx.coll.ibarrier()
+        if ctx.rank == 0:
+            assert not ib.test()  # cannot have completed instantly
+        yield from ib.wait()
+        assert ib.test()
+        return True
+
+    assert all(run_spmd(program, 4, machine=INTER).returns)
+
+
+def test_collectives_interleave_with_pt2pt():
+    """User traffic on the 'user' channel must not disturb collectives."""
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.send(1, "x", tag=42)
+        total = yield from ctx.coll.allreduce(1)
+        if ctx.rank == 1:
+            got = yield from ctx.mpi.recv(0, tag=42)
+            assert got == "x"
+        yield from ctx.coll.barrier()
+        return total
+
+    res = run_spmd(program, 4, machine=INTER)
+    assert res.returns == [4] * 4

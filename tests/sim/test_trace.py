@@ -1,0 +1,54 @@
+"""Tracer and operation counters."""
+
+from repro.sim.kernel import Environment
+from repro.sim.trace import OpCounters, Tracer
+
+
+def test_tracer_records_events():
+    env = Environment()
+    env.tracer = Tracer()
+
+    def prog():
+        yield env.timeout(5)
+        yield env.timeout(5)
+
+    env.process(prog())
+    env.run()
+    assert len(env.tracer.records) >= 3
+    assert all(isinstance(t, int) for t, _name in env.tracer.records)
+
+
+def test_tracer_limit():
+    env = Environment()
+    env.tracer = Tracer(limit=2)
+
+    def prog():
+        for _ in range(10):
+            yield env.timeout(1)
+
+    env.process(prog())
+    env.run()
+    assert len(env.tracer.records) == 2
+
+
+def test_op_counters():
+    c = OpCounters()
+    c.count_issue(0, "put", 64)
+    c.count_issue(0, "put", 64)
+    c.count_issue(1, "get", 8)
+    c.count_service(2)
+    c.add_control_memory(0, 70)
+    c.add_control_memory(1, 5)
+    assert c.messages == 3
+    assert c.bytes_moved == 136
+    assert c.max_remote_ops() == 2
+    assert c.max_control_memory() == 70
+    assert c.nic_ops[2] == 1
+    snap = c.snapshot()
+    assert snap["by_kind"] == {"put": 2, "get": 1}
+
+
+def test_op_counters_empty():
+    c = OpCounters()
+    assert c.max_remote_ops() == 0
+    assert c.max_control_memory() == 0

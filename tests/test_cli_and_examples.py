@@ -1,0 +1,74 @@
+"""The CLI and the example scripts must stay runnable."""
+
+import pathlib
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = REPO / "examples"
+
+
+def _cli(*args):
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, timeout=300,
+                          cwd=REPO)
+
+
+def test_cli_demo():
+    out = _cli("demo")
+    assert out.returncode == 0
+    assert "atomic ticket" in out.stdout
+
+
+def test_cli_models():
+    out = _cli("models")
+    assert out.returncode == 0
+    assert "P_put" in out.stdout and "P:{s} -> T" in out.stdout
+
+
+def test_cli_calibrate():
+    out = _cli("calibrate")
+    assert out.returncode == 0
+    assert "paper 0.16 ns/B" in out.stdout
+
+
+def test_cli_figure_6c():
+    out = _cli("figure", "6c")
+    assert out.returncode == 0
+    assert "legend:" in out.stdout
+
+
+def test_cli_unknown_figure():
+    out = _cli("figure", "99")
+    assert out.returncode != 0
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py", "dsde_demo.py", "performance_models.py",
+])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_example_fft_correctness(capsys):
+    runpy.run_path(str(EXAMPLES / "fft_demo.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "numpy.fft.fftn" in out
+    assert "vs nonblocking MPI" in out
+
+
+def test_example_milc(capsys):
+    runpy.run_path(str(EXAMPLES / "milc_demo.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "identical solution" in out
+
+
+def test_example_hashtable(capsys):
+    runpy.run_path(str(EXAMPLES / "hashtable_demo.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "verified" in out

@@ -1,0 +1,138 @@
+"""Failure injection: erroneous programs must fail loudly, not hang.
+
+The MPI spec forbids cyclically-waiting configurations (paper Section
+2.5); the simulator turns them into immediate
+:class:`~repro.errors.DeadlockError` / backstop aborts with diagnostics
+rather than silent hangs -- these tests inject such bugs on purpose.
+"""
+
+import numpy as np
+import pytest
+
+from repro import run_spmd
+from repro.config import MachineConfig, SimConfig
+from repro.errors import (
+    DeadlockError,
+    Mpi1Error,
+    RegistrationError,
+    SimulationError,
+)
+
+INTER = MachineConfig(ranks_per_node=1)
+
+
+def test_pscw_cyclic_start_deadlocks():
+    """Both ranks start() without anyone posting: the forbidden cyclic
+    wait -- detected as a deadlock, not a hang."""
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        yield from win.start([1 - ctx.rank])
+        yield from win.complete()
+
+    with pytest.raises(DeadlockError) as exc:
+        run_spmd(program, 2, machine=INTER)
+    assert exc.value.blocked == 2
+
+
+def test_recv_without_send_deadlocks():
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.mpi.recv(1, tag=9)
+
+    with pytest.raises(DeadlockError):
+        run_spmd(program, 2, machine=INTER)
+
+
+def test_mismatched_collective_deadlocks():
+    """One rank skips a barrier: classic SPMD bug."""
+    def program(ctx):
+        if ctx.rank != 1:
+            yield from ctx.coll.barrier()
+
+    with pytest.raises(DeadlockError):
+        run_spmd(program, 3, machine=INTER)
+
+
+def test_lock_livelock_hits_backstop():
+    """A never-released exclusive lock spins the waiter until the
+    max_events backstop fires with a diagnostic."""
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        yield from ctx.coll.barrier()
+        from repro.rma.enums import LockType
+
+        if ctx.rank == 0:
+            yield from win.lock(2, LockType.EXCLUSIVE)
+            # bug: never unlocks; rank 1 retries forever
+            yield from ctx.compute(1)
+        else:
+            yield from ctx.compute(5_000)
+            yield from win.lock(2, LockType.EXCLUSIVE)
+            yield from win.unlock(2)
+
+    with pytest.raises((SimulationError, DeadlockError)):
+        run_spmd(program, 3, machine=INTER,
+                 sim=SimConfig(max_events=40_000))
+
+
+def test_stale_descriptor_after_deregistration():
+    """Using a raw DMAPP descriptor after the owner deregistered is the
+    bug the dynamic-window cache protocol exists to prevent."""
+    def program(ctx):
+        seg = ctx.space.alloc(64)
+        desc = ctx.reg.register(seg)
+        descs = yield from ctx.coll.allgather(desc)
+        yield from ctx.coll.barrier()
+        if ctx.rank == 1:
+            ctx.reg.deregister(desc)
+        yield from ctx.coll.barrier()
+        if ctx.rank == 0:
+            with pytest.raises(RegistrationError):
+                yield from ctx.dmapp.put_nbi(descs[1], 0,
+                                             np.zeros(8, np.uint8))
+        yield from ctx.coll.barrier()
+
+    run_spmd(program, 2, machine=INTER)
+
+
+def test_send_to_invalid_rank():
+    def program(ctx):
+        with pytest.raises(Mpi1Error):
+            yield from ctx.mpi.send(99, "x")
+        yield from ctx.coll.barrier()
+
+    run_spmd(program, 2, machine=INTER)
+
+
+def test_application_exception_propagates_with_rank_context():
+    def program(ctx):
+        yield from ctx.coll.barrier()
+        if ctx.rank == 2:
+            raise ValueError("injected application bug")
+        yield from ctx.coll.barrier()
+
+    with pytest.raises(ValueError, match="injected application bug"):
+        run_spmd(program, 4, machine=INTER)
+
+
+def test_full_stack_determinism():
+    """Same seed => bit-identical behaviour across the whole stack
+    (MILC solve: times, event counts, results)."""
+    from repro.apps.milc import MilcSpec, milc_program
+
+    spec = MilcSpec(local=(4, 4, 4, 4), maxiter=10, tol=0.0)
+
+    def once():
+        res = run_spmd(milc_program, 4, spec, "rma", machine=INTER)
+        return (res.sim_time_ns, res.events_processed,
+                [r[:3] for r in res.returns])
+
+    assert once() == once()
+
+
+def test_seed_changes_application_randomness():
+    from repro.apps.dsde.common import make_targets
+
+    t1 = make_targets(1, 0, 32, 6)
+    t2 = make_targets(2, 0, 32, 6)
+    assert t1 != t2
