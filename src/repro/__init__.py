@@ -28,12 +28,23 @@ the subpackages for the full API:
 """
 
 from repro._version import __version__
-from repro.config import MachineConfig, SimConfig
+from repro.config import (
+    FaultConfig,
+    FaultPlan,
+    MachineConfig,
+    NicStall,
+    NodeCrash,
+    SimConfig,
+)
 
 __all__ = [
     "__version__",
     "MachineConfig",
     "SimConfig",
+    "FaultPlan",
+    "FaultConfig",
+    "NicStall",
+    "NodeCrash",
     "Job",
     "run_spmd",
 ]

@@ -42,10 +42,7 @@ class MachineConfig:
         if self.torus_shape is not None:
             return self.torus_shape
         nodes = self.nodes_for(nranks)
-        # Near-cubic torus: smallest x >= y >= z with x*y*z >= nodes.
-        z = max(1, round(nodes ** (1.0 / 3.0)))
-        while z > 1 and nodes % 1 and False:  # pragma: no cover - guard
-            z -= 1
+        # Near-cubic torus: x >= y >= z with x*y*z >= nodes.
         z = max(1, int(nodes ** (1.0 / 3.0)))
         y = max(1, int(math.sqrt(max(1, nodes // max(1, z)))))
         x = math.ceil(nodes / (y * z))
@@ -66,16 +63,132 @@ class SimConfig:
     ----------
     seed:
         Master seed; all stochastic choices (symmetric-heap addresses,
-        random keys in applications, backoff jitter) derive from it.
+        random keys in applications, backoff jitter, fault injection)
+        derive from it.
     max_events:
         Hard cap on processed events -- a runaway-protocol backstop.
     trace:
         Record an event trace (slower; used by tests and debugging).
+    watchdog_interval:
+        Events between progress-watchdog checks (0 disables the watchdog).
+        The watchdog is a pure observer: it never schedules events or
+        perturbs timing, so enabling it cannot change simulation results.
+    watchdog_stalls:
+        Consecutive stale checks (no protocol progress anywhere) before
+        the watchdog raises :class:`~repro.errors.LivelockError` -- far
+        earlier than the ``max_events`` backstop, and with diagnostics
+        naming the stuck ranks.
     """
 
     seed: int = 0xF0_3131  # "fo" MPI-3.1 :-)
     max_events: int = 200_000_000
     trace: bool = False
+    watchdog_interval: int = 800
+    watchdog_stalls: int = 3
+
+
+@dataclass(frozen=True)
+class NicStall:
+    """The NIC of ``node`` freezes for ``[start_ns, start_ns+duration_ns)``:
+    nothing injects from or is serviced at that node during the window."""
+
+    node: int
+    start_ns: int
+    duration_ns: int
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.duration_ns
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """``node`` dies at ``time_ns``: its rank processes are killed, and any
+    packet to or from it at/after that instant is lost forever."""
+
+    node: int
+    time_ns: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject into one run.
+
+    All randomness (which packet drops, corruption, latency spikes, backoff
+    jitter) derives from the master seed, so a faulty run is exactly as
+    bit-reproducible as a clean one: same seed + same plan => same drops,
+    same retransmit counts, same simulated times.
+
+    Attributes
+    ----------
+    drop_prob:
+        Per-packet probability that the fabric silently loses the packet.
+    corrupt_prob:
+        Per-packet probability of payload corruption.  Corrupted packets
+        arrive, fail the checksum at the receiving NIC and are discarded
+        (they never mutate target memory) -- indistinguishable from a drop
+        to the sender, but counted separately.
+    delay_prob / delay_ns:
+        Per-packet probability of a latency spike of ``delay_ns``.
+    stalls:
+        NIC stall windows (e.g. a PCIe hiccup or throttled NIC).
+    crashes:
+        Fail-stop node crashes at fixed simulated times.  Killing a node
+        that holds a lock is how lock-holder death is injected.
+    """
+
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_ns: int = 5_000
+    stalls: tuple = ()
+    crashes: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "corrupt_prob", "delay_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        # Accept lists for convenience; store tuples (hashable, frozen).
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """A :class:`FaultPlan` plus the resilience-machinery tuning knobs.
+
+    When no ``FaultConfig`` is supplied to a run, none of the fault or
+    retry machinery is constructed at all -- fault-free runs are
+    bit-identical to runs of the unhardened code.
+
+    Attributes
+    ----------
+    plan:
+        The faults to inject (``None`` = no injection, machinery off).
+    max_retries:
+        Retransmissions per operation before the transport gives up and
+        raises :class:`~repro.errors.DeadlineError`.
+    op_deadline_ns:
+        Time the origin NIC waits for the remote-completion ack of one
+        transmission attempt before declaring it lost.
+    retry_backoff_base_ns / retry_backoff_max_ns:
+        Capped exponential backoff between retransmissions.
+    retry_jitter_ns:
+        Amplitude of the seeded (deterministic) jitter added to each
+        backoff step to de-synchronize contending retriers.
+    """
+
+    plan: FaultPlan | None = None
+    max_retries: int = 64
+    op_deadline_ns: int = 30_000
+    retry_backoff_base_ns: int = 500
+    retry_backoff_max_ns: int = 16_000
+    retry_jitter_ns: int = 200
+
+    @property
+    def active(self) -> bool:
+        return self.plan is not None
 
 
 @dataclass

@@ -23,12 +23,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import DeadlineError, NodeCrashedError, SimulationError
 from repro.mem.atomic import AtomicArray
 from repro.mem.registration import MemDescriptor, RegistrationTable
 from repro.machine.network import Network
 
-__all__ = ["DmappEndpoint", "DmappHandle"]
+__all__ = ["DmappEndpoint", "ResilientDmappEndpoint", "DmappHandle"]
 
 _HEADER_BYTES = 24  # request header: opcode + rkey + vaddr (get/amo requests)
 _AMO_BYTES = 16     # AMO request payload: operand + address
@@ -77,6 +77,10 @@ class DmappEndpoint:
     def _track(self, handle: DmappHandle) -> DmappHandle:
         self._horizon = max(self._horizon, handle.remote_complete)
         self._issued += 1
+        # Data movement is forward progress for the watchdog; AMOs are
+        # deliberately NOT marks (a spinning lock issues AMOs forever).
+        if handle.kind in ("put", "get"):
+            self.env.note_progress()
         return handle
 
     def _resolve(self, desc: MemDescriptor):
@@ -370,3 +374,390 @@ class DmappEndpoint:
     @property
     def ops_issued(self) -> int:
         return self._issued
+
+
+class ResilientDmappEndpoint(DmappEndpoint):
+    """Hardened DMAPP transport for faulty fabrics.
+
+    Every operation is sequence-numbered and transmitted until its effect
+    is applied *and* acknowledged, or until the retry budget is exhausted:
+
+    * per-op deadlines: a missing ack after ``op_deadline_ns`` triggers a
+      NIC-driven retransmission (the issuing CPU is charged only for the
+      first attempt's descriptor write -- recovery overlaps computation);
+    * retransmits are idempotent for put/get (re-writing the same bytes /
+      re-reading) and exactly-once for AMOs: the injector caches the
+      result keyed by ``(origin_rank, seq)``, so a replayed atomic whose
+      first copy took effect (only the ack was lost) returns the cached
+      old value instead of re-applying;
+    * retransmission attempts back off exponentially (capped) with seeded
+      jitter, so replay timing is deterministic for a given seed + plan;
+    * :class:`~repro.errors.DeadlineError` is raised after
+      ``max_retries`` failed attempts, or
+      :class:`~repro.errors.NodeCrashedError` when the target node is
+      known to have fail-stopped (quarantine: ops to crashed nodes fail
+      fast without touching the wire).
+    """
+
+    def __init__(self, env, rank, network, rank_map, reg_tables,
+                 injector, fault_config) -> None:
+        super().__init__(env, rank, network, rank_map, reg_tables)
+        self.injector = injector
+        self.fault_config = fault_config
+        self._op_seq = 0
+
+    # ------------------------------------------------------------------
+    # resilience machinery
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._op_seq += 1
+        return self._op_seq
+
+    def _quarantine_check(self, tnode: int, op: str, target_rank: int) -> None:
+        """Fail fast on ops addressed to a node already known crashed."""
+        inj = self.injector
+        if inj.node_crashed(tnode, self.env.now):
+            raise NodeCrashedError(
+                tnode, inj.crash_time(tnode),
+                f"{op} from rank {self.rank} to rank {target_rank} refused "
+                f"(node quarantined)")
+
+    def _deliver_reliably(self, tnode: int, nbytes: int, effect_cb,
+                          kind: str, target_rank: int, *,
+                          is_amo: bool = False):
+        """Transmit one request until applied + acked.
+
+        Returns ``(first_inject_window, complete_time, attempts)``.  The
+        effect callback is attached to every attempt; it must be
+        idempotent (put rewrites) or self-deduplicating (AMOs via the
+        injector's replay cache).
+        """
+        inj = self.injector
+        cfg = self.fault_config
+        net = self.network
+        env = self.env
+        attempts = 0
+        resend_floor: int | None = None
+        first_window: tuple[int, int] | None = None
+        while True:
+            attempts += 1
+            if attempts > cfg.max_retries + 1:
+                inj.stats.deadline_failures += 1
+                ct = inj.crash_time(tnode)
+                if ct is not None and env.now >= ct:
+                    raise NodeCrashedError(
+                        tnode, ct,
+                        f"{kind} from rank {self.rank} to rank "
+                        f"{target_rank} undeliverable")
+                raise DeadlineError(kind, target_rank, attempts - 1,
+                                    cfg.op_deadline_ns)
+            data_fate = inj.packet_fate(self.node, tnode)
+            inj_start, inj_end = net.occupy_injection(
+                self.node, max(1, nbytes), earliest=resend_floor)
+            if first_window is None:
+                first_window = (inj_start, inj_end)
+            delivery, ev = net.packet(
+                self.node, tnode, max(1, nbytes),
+                inject_window=(inj_start, inj_end),
+                is_amo=is_amo, fate=data_fate, on_deliver=effect_cb)
+            if ev.name == "packet-deliver":
+                ack_fate = inj.packet_fate(tnode, self.node)
+                if not ack_fate.lost:
+                    complete = int(round(delivery + self._wire_back(tnode)
+                                         + ack_fate.extra_delay_ns))
+                    return first_window, complete, attempts
+            # Lost somewhere (request dropped/corrupted, target crashed,
+            # or the ack went missing): the source NIC times out after the
+            # op deadline and retransmits with capped, jittered backoff.
+            inj.stats.retransmits += 1
+            inj._trace("retransmit",
+                       f"{kind} rank{self.rank}->rank{target_rank} "
+                       f"#{attempts}")
+            resend_floor = int(round(inj_end + cfg.op_deadline_ns
+                                     + inj.backoff_ns(attempts)))
+
+    # ------------------------------------------------------------------
+    # resilient operations
+    # ------------------------------------------------------------------
+    def put_nbi(self, desc: MemDescriptor, offset: int, data):
+        src = np.ascontiguousarray(np.asarray(data)).view(np.uint8).ravel()
+        seg = self._resolve(desc)
+        seg._check(offset, src.size)
+        net = self.network
+        tnode = self._target_node(desc.rank)
+        self._quarantine_check(tnode, "put", desc.rank)
+        handle = DmappHandle("put", 0, 0)
+        total = src.size
+        chunk = net.params.max_chunk
+        pos = 0
+        snapshot = src.copy()
+        last_complete = self.env.now
+        cpu_free = self.env.now
+        while True:
+            n = min(chunk, total - pos) if total else 0
+            piece = snapshot[pos:pos + n]
+            off = offset + pos
+
+            def _write(_t, seg=seg, off=off, piece=piece):
+                seg.write(off, piece)  # idempotent: retransmits re-write
+
+            (inj_start, inj_end), complete, _att = self._deliver_reliably(
+                tnode, max(1, n), _write, "put", desc.rank)
+            admit = net.injection_admit(self.node, inj_end, max(1, n))
+            cpu_free = max(self.env.now + int(round(net.params.o_inject)),
+                           admit)
+            net.counters.count_issue(self.rank, "put", n)
+            last_complete = max(last_complete, complete)
+            pos += n
+            if pos >= total:
+                handle.local_complete = inj_end
+                break
+        handle.remote_complete = last_complete
+        self._track(handle)
+        wait = cpu_free - self.env.now
+        if wait > 0:
+            yield self.env.timeout(wait)
+        return handle
+
+    def get_nbi(self, desc: MemDescriptor, offset: int, nbytes: int,
+                out: np.ndarray | None = None):
+        seg = self._resolve(desc)
+        seg._check(offset, nbytes)
+        net = self.network
+        p = net.params
+        inj = self.injector
+        cfg = self.fault_config
+        tnode = self._target_node(desc.rank)
+        self._quarantine_check(tnode, "get", desc.rank)
+        if out is not None and out.nbytes != nbytes:
+            raise SimulationError(
+                f"get out-buffer is {out.nbytes} B, expected {nbytes}")
+
+        attempts = 0
+        resend_floor: int | None = None
+        first_window: tuple[int, int] | None = None
+        data_arrival = self.env.now
+        while True:
+            attempts += 1
+            if attempts > cfg.max_retries + 1:
+                inj.stats.deadline_failures += 1
+                ct = inj.crash_time(tnode)
+                if ct is not None and self.env.now >= ct:
+                    raise NodeCrashedError(
+                        tnode, ct,
+                        f"get from rank {self.rank} to rank {desc.rank} "
+                        f"undeliverable")
+                raise DeadlineError("get", desc.rank, attempts - 1,
+                                    cfg.op_deadline_ns)
+            req_fate = inj.packet_fate(self.node, tnode)
+            inj_start, inj_end = net.occupy_injection(
+                self.node, _HEADER_BYTES, earliest=resend_floor)
+            if first_window is None:
+                first_window = (inj_start, inj_end)
+            req_delivery, req_ev = net.packet(
+                self.node, tnode, _HEADER_BYTES,
+                inject_window=(inj_start, inj_end), fate=req_fate)
+            if req_ev.name == "packet-deliver":
+                resp_fate = inj.packet_fate(tnode, self.node)
+                if not resp_fate.lost:
+                    resp_ready = req_delivery + p.get_target_overhead
+                    resp_ready = max(resp_ready, inj.stall_release(
+                        tnode, int(round(resp_ready))))
+                    resp_chan = (net.nic(tnode).fma
+                                 if nbytes <= p.fma_threshold
+                                 else net.nic(tnode).bte)
+                    _rs, resp_end = resp_chan.occupy(
+                        int(round(max(p.nic_packet_gap,
+                                      nbytes * p.get_gap_per_byte))),
+                        earliest=int(round(resp_ready)))
+                    if not inj.node_crashed(tnode, resp_end):
+                        data_arrival = int(round(
+                            resp_end + self._wire_back(tnode)
+                            + resp_fate.extra_delay_ns))
+                        break
+            inj.stats.retransmits += 1
+            inj._trace("retransmit",
+                       f"get rank{self.rank}->rank{desc.rank} #{attempts}")
+            resend_floor = int(round(inj_end + cfg.op_deadline_ns
+                                     + inj.backoff_ns(attempts)))
+
+        inj_start, inj_end = first_window
+        handle = DmappHandle("get", inj_end, data_arrival)
+        ev = self.env.event(name="get-data")
+
+        def _read_at_target(event):
+            data = seg.read(offset, nbytes)
+            handle.result = data
+            if out is not None:
+                out.view(np.uint8).ravel()[:] = data
+
+        ev.callbacks.append(_read_at_target)
+        ev.succeed(delay=max(0, data_arrival - self.env.now))
+        net.counters.count_issue(self.rank, "get", nbytes)
+        self._track(handle)
+        admit = net.injection_admit(self.node, inj_end, _HEADER_BYTES)
+        cpu_free = max(self.env.now + int(round(p.o_inject)), admit)
+        wait = cpu_free - self.env.now
+        if wait > 0:
+            yield self.env.timeout(wait)
+        return handle
+
+    def amo_nbi(self, target_rank: int, cells: AtomicArray, idx: int,
+                op: str, operand: int, operand2: int = 0,
+                fetch: bool = False):
+        net = self.network
+        inj = self.injector
+        tnode = self._target_node(target_rank)
+        self._quarantine_check(tnode, f"amo:{op}", target_rank)
+        seq = self._next_seq()
+        handle = DmappHandle("amo", 0, 0)
+
+        def _execute(_t):
+            if inj.amo_executed(self.rank, seq):
+                handle.result = inj.replay_result(self.rank, seq)
+                return
+            if op == "cas":
+                old = cells.cas(idx, operand, operand2)
+            else:
+                old = cells.apply(idx, op, operand)
+            inj.record_amo(self.rank, seq, old)
+            handle.result = old
+
+        (inj_start, inj_end), complete, _att = self._deliver_reliably(
+            tnode, _AMO_BYTES, _execute, f"amo:{op}", target_rank,
+            is_amo=True)
+        handle.local_complete = inj_end
+        handle.remote_complete = complete
+        net.counters.count_issue(self.rank, f"amo:{op}", 8)
+        self._track(handle)
+        admit = net.injection_admit(self.node, inj_end, _AMO_BYTES)
+        cpu_free = max(self.env.now + int(round(net.params.o_inject)),
+                       admit)
+        wait = cpu_free - self.env.now
+        if wait > 0:
+            yield self.env.timeout(wait)
+        return handle
+
+    def amo_custom_nbi(self, target_rank: int, mutate):
+        net = self.network
+        inj = self.injector
+        tnode = self._target_node(target_rank)
+        self._quarantine_check(tnode, "amo:custom", target_rank)
+        seq = self._next_seq()
+        handle = DmappHandle("amo-custom", 0, 0)
+
+        def _execute(_t):
+            if inj.amo_executed(self.rank, seq):
+                handle.result = inj.replay_result(self.rank, seq)
+                return
+            result = mutate()
+            inj.record_amo(self.rank, seq, result)
+            handle.result = result
+
+        (inj_start, inj_end), complete, _att = self._deliver_reliably(
+            tnode, _AMO_BYTES, _execute, "amo:custom", target_rank,
+            is_amo=True)
+        handle.local_complete = inj_end
+        handle.remote_complete = complete
+        net.counters.count_issue(self.rank, "amo:custom", 8)
+        self._track(handle)
+        admit = net.injection_admit(self.node, inj_end, _AMO_BYTES)
+        cpu_free = max(self.env.now + int(round(net.params.o_inject)),
+                       admit)
+        wait = cpu_free - self.env.now
+        if wait > 0:
+            yield self.env.timeout(wait)
+        return handle
+
+    def amo_stream_nbi(self, target_rank: int, cells: AtomicArray,
+                       base_idx: int, op: str, operands,
+                       fetch: bool = False):
+        ops = [int(v) for v in np.asarray(operands).ravel()]
+        n = len(ops)
+        if n == 0:
+            raise SimulationError("empty AMO stream")
+        net = self.network
+        p = net.params
+        inj = self.injector
+        cfg = self.fault_config
+        tnode = self._target_node(target_rank)
+        self._quarantine_check(tnode, f"amo-stream:{op}", target_rank)
+        seq = self._next_seq()
+        nbytes = 8 * n
+        handle = DmappHandle("amo-stream", 0, 0)
+
+        def _execute(_t):
+            if inj.amo_executed(self.rank, seq):
+                cached = inj.replay_result(self.rank, seq)
+                if fetch:
+                    handle.result = cached
+                return
+            old = [cells.apply(base_idx + i, op, v)
+                   for i, v in enumerate(ops)]
+            arr = np.array(old, dtype=np.uint64) if fetch else None
+            inj.record_amo(self.rank, seq, arr)
+            if fetch:
+                handle.result = arr
+
+        attempts = 0
+        resend_floor: int | None = None
+        first_window: tuple[int, int] | None = None
+        complete = self.env.now
+        while True:
+            attempts += 1
+            if attempts > cfg.max_retries + 1:
+                inj.stats.deadline_failures += 1
+                ct = inj.crash_time(tnode)
+                if ct is not None and self.env.now >= ct:
+                    raise NodeCrashedError(
+                        tnode, ct,
+                        f"amo-stream from rank {self.rank} to rank "
+                        f"{target_rank} undeliverable")
+                raise DeadlineError(f"amo-stream:{op}", target_rank,
+                                    attempts - 1, cfg.op_deadline_ns)
+            data_fate = inj.packet_fate(self.node, tnode)
+            inj_start, inj_end = net.occupy_injection(
+                self.node, nbytes, earliest=resend_floor)
+            if first_window is None:
+                first_window = (inj_start, inj_end)
+            if not data_fate.drop:
+                wire = (p.wire_latency(net.hops(self.node, tnode))
+                        + p.nic_latency + net._noise()
+                        + data_fate.extra_delay_ns)
+                head = inj_end + wire
+                head = max(head, inj.stall_release(tnode, int(round(head))))
+                chan = net.nic(tnode).amo_engine
+                start = max(int(round(head)), chan.busy_until)
+                chan.busy_until = start + int(round(p.amo_gap * n))
+                chan.total_busy += int(round(p.amo_gap * n))
+                delivery = chan.busy_until + int(round(p.amo_service))
+                net.counters.count_service(tnode)
+                if (not data_fate.corrupt
+                        and not inj.node_crashed(tnode, delivery)):
+                    ev = self.env.event(name="amo-stream")
+                    ev.callbacks.append(lambda _e: _execute(self.env.now))
+                    ev.succeed(delay=max(0, delivery - self.env.now))
+                    ack_fate = inj.packet_fate(tnode, self.node)
+                    if not ack_fate.lost:
+                        complete = int(round(
+                            delivery + self._wire_back(tnode)
+                            + ack_fate.extra_delay_ns))
+                        break
+            inj.stats.retransmits += 1
+            inj._trace("retransmit",
+                       f"amo-stream rank{self.rank}->rank{target_rank} "
+                       f"#{attempts}")
+            resend_floor = int(round(inj_end + cfg.op_deadline_ns
+                                     + inj.backoff_ns(attempts)))
+
+        inj_start, inj_end = first_window
+        handle.local_complete = inj_end
+        handle.remote_complete = complete
+        net.counters.count_issue(self.rank, f"amo-stream:{op}", nbytes)
+        self._track(handle)
+        admit = net.injection_admit(self.node, inj_end, nbytes)
+        cpu_free = max(self.env.now + int(round(p.o_inject)), admit)
+        wait = cpu_free - self.env.now
+        if wait > 0:
+            yield self.env.timeout(wait)
+        return handle

@@ -15,15 +15,49 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The event queue drained while coroutines were still blocked."""
+    """The event queue drained while coroutines were still blocked.
 
-    def __init__(self, blocked: int, now: int) -> None:
-        super().__init__(
-            f"simulation deadlock: {blocked} process(es) still blocked "
-            f"at t={now}ns with an empty event queue"
-        )
+    ``blocked_ranks`` names the stuck processes and ``sites`` maps each to
+    its last recorded API call site (when the runtime tracked one), so the
+    error message says *who* is stuck and *where* -- not just how many.
+    """
+
+    def __init__(self, blocked: int, now: int,
+                 blocked_ranks: tuple[str, ...] = (),
+                 sites: dict[str, str] | None = None) -> None:
         self.blocked = blocked
         self.now = now
+        self.blocked_ranks = tuple(blocked_ranks)
+        self.sites = dict(sites or {})
+        msg = (f"simulation deadlock: {blocked} process(es) still blocked "
+               f"at t={now}ns with an empty event queue")
+        if self.blocked_ranks:
+            msg += "; blocked: " + ", ".join(
+                f"{name} [{self.sites[name]}]" if name in self.sites else name
+                for name in self.blocked_ranks)
+        super().__init__(msg)
+
+
+class LivelockError(SimulationError):
+    """The progress watchdog saw a long event window with no protocol
+    progress: processes keep waking (retry/backoff loops) but nothing ever
+    completes.  Caught far earlier than the ``max_events`` backstop."""
+
+    def __init__(self, now: int, events: int, window_events: int,
+                 blocked_ranks: tuple[str, ...] = (),
+                 sites: dict[str, str] | None = None) -> None:
+        self.now = now
+        self.events = events
+        self.window_events = window_events
+        self.blocked_ranks = tuple(blocked_ranks)
+        self.sites = dict(sites or {})
+        detail = ", ".join(
+            f"{name} [{self.sites[name]}]" if name in self.sites else name
+            for name in self.blocked_ranks) or "unknown"
+        super().__init__(
+            f"livelock detected at t={now}ns: no protocol progress over the "
+            f"last {window_events} events ({events} processed in total); "
+            f"stuck: {detail}")
 
 
 class MemoryError_(ReproError):
@@ -56,3 +90,35 @@ class DatatypeError(RmaError):
 
 class Mpi1Error(ReproError):
     """Message-passing (MPI-1 baseline) semantic errors."""
+
+
+class FaultError(ReproError):
+    """Base class for failures caused by injected faults (repro.faults)."""
+
+
+class DeadlineError(FaultError):
+    """An operation's retry budget was exhausted: every (re)transmission
+    within the per-op deadline was lost or corrupted."""
+
+    def __init__(self, op: str, target: int, attempts: int,
+                 deadline_ns: int) -> None:
+        self.op = op
+        self.target = target
+        self.attempts = attempts
+        self.deadline_ns = deadline_ns
+        super().__init__(
+            f"{op} to rank {target} failed: {attempts} transmission(s) lost "
+            f"with a {deadline_ns}ns per-attempt deadline (retry budget "
+            f"exhausted)")
+
+
+class NodeCrashedError(FaultError):
+    """An operation targeted (or ran on) a node that crashed at time T."""
+
+    def __init__(self, node: int, crash_time_ns: int, detail: str = "") -> None:
+        self.node = node
+        self.crash_time_ns = crash_time_ns
+        msg = f"node {node} crashed at t={crash_time_ns}ns"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.errors import DeadlineError
 from repro.machine.params import GeminiParams
 from repro.machine.topology import RankMap, Torus3D
 from repro.sim.kernel import Environment, Event
@@ -70,6 +71,7 @@ class Network:
         rank_map: RankMap,
         params: GeminiParams | None = None,
         counters: OpCounters | None = None,
+        injector=None,
     ) -> None:
         if torus.nnodes < rank_map.nnodes:
             raise ValueError(
@@ -80,6 +82,9 @@ class Network:
         self.rank_map = rank_map
         self.params = params or GeminiParams()
         self.counters = counters or OpCounters()
+        # Optional repro.faults.FaultInjector; None keeps every hot path on
+        # the exact pre-fault code (zero cost, bit-identical runs).
+        self.injector = injector
         self._nics: dict[int, Nic] = {}
         self._noise_state = 0x243F6A8885A308D3  # pi digits; deterministic
 
@@ -118,6 +123,8 @@ class Network:
         is_amo: bool = False,
         gap_per_byte: float | None = None,
         on_deliver: Callable[[int], None] | None = None,
+        fate=None,
+        reliable: bool = False,
     ) -> tuple[int, Event]:
         """Send one packet; returns (delivery_time_ns, delivery_event).
 
@@ -136,7 +143,21 @@ class Network:
         waiting on the returned event resumes -- remote memory writes and
         AMO side effects use it so memory is updated atomically at the
         delivery instant.
+
+        With a fault injector installed, each transmission can be dropped,
+        corrupted (checksum fails at the target NIC, packet discarded),
+        delayed, or stalled -- a lost packet never runs ``on_deliver``.
+        ``fate`` lets a resilient transport that drew the fate itself (the
+        hardened DMAPP endpoint) thread it through; ``reliable=True``
+        instead enables link-level recovery *inside* this call: the source
+        NIC retransmits after a timeout, with capped seeded backoff, until
+        delivery succeeds or the retry budget is exhausted (the MPI-1
+        transport uses this).  Both are no-ops without an injector.
         """
+        if self.injector is not None:
+            return self._packet_faulty(
+                src_node, dst_node, nbytes, inject_window, charge_injection,
+                is_amo, gap_per_byte, on_deliver, fate, reliable)
         p = self.params
         gap = p.gap_per_byte if gap_per_byte is None else gap_per_byte
         env = self.env
@@ -187,8 +208,118 @@ class Network:
         self.counters.count_service(dst_node)
         return deliver_time, ev
 
+    def _packet_faulty(self, src_node, dst_node, nbytes, inject_window,
+                       charge_injection, is_amo, gap_per_byte, on_deliver,
+                       fate, reliable) -> tuple[int, Event]:
+        """Fault-aware twin of :meth:`packet` (see its docstring).
+
+        Kept separate so the fault-free hot path stays byte-for-byte the
+        pre-fault code.  Timing is computed per transmission attempt; all
+        retransmission work (timeout detection, backoff, re-injection) is
+        NIC-driven and never blocks the issuing CPU.
+        """
+        inj = self.injector
+        p = self.params
+        gap = p.gap_per_byte if gap_per_byte is None else gap_per_byte
+        env = self.env
+        attempt = 0
+        resend_floor: int | None = None
+        while True:
+            attempt += 1
+            this_fate = fate if (fate is not None and attempt == 1) \
+                else inj.packet_fate(src_node, dst_node)
+
+            if charge_injection:
+                if attempt == 1 and inject_window is not None:
+                    inject_start, inject_end = inject_window
+                else:
+                    inject_start, inject_end = self.occupy_injection(
+                        src_node, nbytes, gap, earliest=resend_floor)
+                pipeline = p.nic_latency
+            else:
+                floor = env.now if resend_floor is None else resend_floor
+                inject_start = inject_end = inj.stall_release(src_node, floor)
+                pipeline = 0.0
+
+            src_dead = inj.node_crashed(src_node, int(inject_start))
+            wire = (p.wire_latency(self.hops(src_node, dst_node)) + pipeline
+                    + self._noise() + this_fate.extra_delay_ns)
+            head_arrival = inject_start + wire
+            tail_arrival = inject_end + wire
+
+            delivered = False
+            deliver_time = int(round(tail_arrival))
+            if not this_fate.drop and not src_dead:
+                # The packet reaches the destination NIC, which may be
+                # mid-stall: service waits for the stall window to end.
+                head_arrival = max(head_arrival,
+                                   inj.stall_release(dst_node, int(head_arrival)))
+                if is_amo:
+                    chan = self.nic(dst_node).amo_engine
+                    svc = p.amo_gap
+                elif nbytes <= p.fma_threshold:
+                    chan = self.nic(dst_node).eject_fma
+                    svc = p.o_eject
+                else:
+                    chan = self.nic(dst_node).eject_bte
+                    svc = max(p.o_eject, nbytes * gap)
+                start = max(int(round(head_arrival)), chan.busy_until)
+                chan.busy_until = max(start + int(round(svc)),
+                                      int(round(tail_arrival)))
+                chan.total_busy += int(round(svc))
+                deliver_time = chan.busy_until
+                if is_amo:
+                    deliver_time += int(round(p.amo_service))
+                self.counters.count_service(dst_node)
+                # Corrupted payloads fail the checksum and are discarded
+                # here; packets to a node dead by arrival are lost too.
+                delivered = (not this_fate.corrupt
+                             and not inj.node_crashed(dst_node, deliver_time))
+
+            if delivered:
+                ev = env.event(name="packet-deliver")
+                if on_deliver is not None:
+                    def _fire(event: Event, _cb=on_deliver) -> None:
+                        _cb(env.now)
+                    ev.callbacks.append(_fire)
+                ev.succeed(deliver_time, delay=max(0, deliver_time - env.now))
+                return deliver_time, ev
+
+            give_up = (not reliable
+                       or attempt > inj.config.max_retries
+                       or src_dead
+                       or inj.node_crashed(dst_node, deliver_time))
+            if give_up:
+                ev = env.event(name="packet-lost")
+                if (reliable and not src_dead
+                        and not inj.node_crashed(dst_node, deliver_time)):
+                    # A reliable link exhausted its retry budget with both
+                    # endpoints alive: fail loudly at the instant the last
+                    # ack window expires, instead of leaving the waiter to
+                    # decay into a deadlock report.
+                    inj.stats.deadline_failures += 1
+                    inj._trace("deadline",
+                               f"{src_node}->{dst_node} after {attempt} tries")
+
+                    def _budget_exhausted(event: Event, _n=attempt) -> None:
+                        raise DeadlineError(
+                            "packet", dst_node, _n,
+                            inj.config.op_deadline_ns)
+                    ev.callbacks.append(_budget_exhausted)
+                ev.succeed(deliver_time,
+                           delay=max(0, deliver_time - env.now))
+                return deliver_time, ev
+            # Link-level recovery: the source NIC detects the missing ack
+            # after the op deadline and retransmits with seeded backoff.
+            inj.stats.retransmits += 1
+            inj._trace("retransmit", f"{src_node}->{dst_node} #{attempt}")
+            resend_floor = int(round(
+                inject_end + inj.config.op_deadline_ns
+                + inj.backoff_ns(attempt)))
+
     def occupy_injection(self, src_node: int, nbytes: int,
-                         gap_per_byte: float | None = None) -> tuple[int, int]:
+                         gap_per_byte: float | None = None,
+                         earliest: int | None = None) -> tuple[int, int]:
         """Reserve the injection channel; returns (start, end) times.
 
         The *end* is when the NIC has drained the payload (origin buffer
@@ -197,12 +328,20 @@ class Network:
         which is what lets large transfers overlap with computation
         (Figure 5a) while small-message rate stays bounded by o_inject
         (Figure 5b).
+
+        ``earliest`` floors the start time (NIC-scheduled retransmissions);
+        injected NIC stall windows also push the start past their end.
         """
         p = self.params
         gap = p.gap_per_byte if gap_per_byte is None else gap_per_byte
         duration = max(p.nic_packet_gap, nbytes * gap)
         chan = (self.nic(src_node).fma if nbytes <= p.fma_threshold
                 else self.nic(src_node).bte)
+        if self.injector is not None or earliest is not None:
+            floor = self.env.now if earliest is None else int(earliest)
+            if self.injector is not None:
+                floor = self.injector.stall_release(src_node, floor)
+            return chan.occupy(int(round(duration)), earliest=floor)
         return chan.occupy(int(round(duration)))
 
     def injection_admit(self, src_node: int, inj_end: int,

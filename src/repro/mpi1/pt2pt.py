@@ -26,7 +26,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import Mpi1Error
+from repro.errors import Mpi1Error, NodeCrashedError
 from repro.machine.network import Network
 from repro.machine.params import XpmemParams
 from repro.mpi1.matching import (
@@ -127,6 +127,19 @@ class Mpi1Endpoint:
         except KeyError:
             raise Mpi1Error(f"no such rank {rank}") from None
 
+    def _quarantine_check(self, peer_rank: int, op: str) -> None:
+        """Fail fast on communication with a crashed node (graceful
+        degradation: a structured error instead of a hang)."""
+        inj = self.network.injector
+        if inj is None or peer_rank == ANY_SOURCE:
+            return
+        pnode = self.rank_map.node_of(peer_rank)
+        if inj.node_crashed(pnode, self.env.now):
+            raise NodeCrashedError(
+                pnode, inj.crash_time(pnode),
+                f"{op} between rank {self.rank} and rank {peer_rank} "
+                f"refused (node quarantined)")
+
     def _ship(self, dest: int, nbytes: int, deliver_cb) -> tuple[int, int]:
         """Move ``nbytes`` to rank ``dest``; run ``deliver_cb`` on arrival.
 
@@ -152,9 +165,12 @@ class Mpi1Endpoint:
         total = nbytes + p.header_bytes
         net = self.network
         inj_start, inj_end = net.occupy_injection(self.node, total)
+        # reliable=True enables link-level recovery when a fault injector
+        # is installed: the source NIC retransmits lost/corrupted packets
+        # with seeded backoff until delivery (a no-op on clean fabrics).
         net.packet(self.node, dnode, total,
                    inject_window=(inj_start, inj_end),
-                   on_deliver=deliver_cb)
+                   on_deliver=deliver_cb, reliable=True)
         net.counters.count_issue(self.rank, "mpi1-inter", nbytes)
         admit = net.injection_admit(self.node, inj_end, total)
         cpu_free = max(env.now, admit) + int(round(
@@ -169,6 +185,9 @@ class Mpi1Endpoint:
               sync: bool = False):
         """Nonblocking send; generator returning a :class:`Request`."""
         n = wire_size(payload) if nbytes is None else int(nbytes)
+        self._quarantine_check(dest, "send")
+        self.env.api_sites[f"rank{self.rank}"] = (
+            f"mpi.isend(dest={dest}, tag={tag}, {n}B)")
         req = Request(self, "send")
         yield self.env.timeout(int(round(self.params.o_send)))
         data = _freeze(payload)
@@ -240,6 +259,10 @@ class Mpi1Endpoint:
     def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
              channel: str = "user"):
         """Blocking receive; returns the payload."""
+        self._quarantine_check(src, "recv")
+        self.env.api_sites[f"rank{self.rank}"] = (
+            f"mpi.recv(src={'ANY' if src == ANY_SOURCE else src}, "
+            f"tag={'ANY' if tag == ANY_TAG else tag})")
         req = self.irecv(src, tag, channel)
         return (yield from req.wait())
 
@@ -275,6 +298,9 @@ class Mpi1Endpoint:
     # engine internals (run from delivery callbacks)
     # ------------------------------------------------------------------
     def _on_arrival(self, msg: Message) -> None:
+        # Every message arrival is forward progress (it happens once per
+        # message -- unlike retry loops, it cannot recur in a livelock).
+        self.env.note_progress()
         recv = self.queue.arrive(msg)
         if msg.kind == "rts":
             if msg.sender_state.get("sync_eager"):
@@ -290,6 +316,8 @@ class Mpi1Endpoint:
                 self._complete_recv(recv.event, msg)
 
     def _complete_recv(self, req: Request, msg: Message) -> None:
+        # A successful match is forward progress for the livelock watchdog.
+        self.env.note_progress()
         p = self.params
         cost = p.o_recv_match
         if msg.kind == "eager":

@@ -157,10 +157,15 @@ class UpcContext:
         yield from ctx.compute(self.params.amo_overhead)
         cells = arr.cells(rank)
         if rank in arr.tokens or rank == ctx.rank:
-            return (yield from ctx.xpmem.amo(cells, word_index, "add",
-                                             int(value)))
-        return (yield from ctx.dmapp.amo_b(rank, cells, word_index, "add",
-                                           int(value)))
+            old = yield from ctx.xpmem.amo(cells, word_index, "add",
+                                           int(value))
+        else:
+            old = yield from ctx.dmapp.amo_b(rank, cells, word_index, "add",
+                                             int(value))
+        # A completed user-level atomic is forward progress (unlike the
+        # protocol-internal AMO retries inside lock acquisition).
+        ctx.env.note_progress()
+        return old
 
     def aadd_nb(self, arr: UpcSharedArray, rank: int, word_index: int,
                 value: int):
@@ -182,10 +187,13 @@ class UpcContext:
         yield from ctx.compute(self.params.amo_overhead)
         cells = arr.cells(rank)
         if rank in arr.tokens or rank == ctx.rank:
-            return (yield from ctx.xpmem.amo(cells, word_index, "cas",
-                                             int(compare), int(swap)))
-        return (yield from ctx.dmapp.amo_b(rank, cells, word_index, "cas",
-                                           int(compare), int(swap)))
+            old = yield from ctx.xpmem.amo(cells, word_index, "cas",
+                                           int(compare), int(swap))
+        else:
+            old = yield from ctx.dmapp.amo_b(rank, cells, word_index, "cas",
+                                             int(compare), int(swap))
+        ctx.env.note_progress()
+        return old
 
     def check_affinity(self, arr: UpcSharedArray, offset: int) -> None:
         if not 0 <= offset < arr.block:

@@ -85,6 +85,7 @@ def lock(win, target: int, lock_type: LockType = LockType.SHARED):
         raise LockError("lock() while holding lock_all")
     if target in st.held:
         raise LockError(f"target {target} already locked")
+    win.ctx.note_api(f"win.lock(target={target}, {lock_type.name.lower()})")
     yield from win.ctx.instr(win.params.instr_lock)
 
     if lock_type is LockType.SHARED:
@@ -93,6 +94,10 @@ def lock(win, target: int, lock_type: LockType = LockType.SHARED):
         yield from _lock_exclusive(win, target)
     st.held[target] = lock_type
     win.epoch_access = "lock"
+    # Acquisition is forward progress; the retry loops above are not --
+    # that contrast is what lets the watchdog tell contention (someone
+    # keeps acquiring) from livelock (nobody does).
+    win.ctx.env.note_progress()
 
 
 def _lock_shared(win, target: int):
@@ -158,6 +163,7 @@ def unlock(win, target: int):
     if lt is None:
         raise LockError(f"unlock() of unlocked target {target}")
     ctx = win.ctx
+    ctx.note_api(f"win.unlock(target={target})")
     yield from ctx.xpmem.mfence()
     yield from ctx.dmapp.gsync()
     if lt is LockType.SHARED:
@@ -173,6 +179,7 @@ def unlock(win, target: int):
     del st.held[target]
     if not st.held:
         win.epoch_access = None
+    win.ctx.env.note_progress()
 
 
 def lock_all(win):
@@ -183,6 +190,7 @@ def lock_all(win):
         raise LockError(f"lock_all() during a {win.epoch_access!r} epoch")
     if st.lock_all_held:
         raise LockError("lock_all() already held")
+    win.ctx.note_api("win.lock_all()")
     yield from win.ctx.instr(win.params.instr_lock)
     attempt = 0
     while True:
@@ -196,6 +204,7 @@ def lock_all(win):
         attempt += 1
     st.lock_all_held = True
     win.epoch_access = "lock_all"
+    win.ctx.env.note_progress()
 
 
 def unlock_all(win):
@@ -209,3 +218,4 @@ def unlock_all(win):
                     -GLOBAL_SHARED_UNIT, blocking=False)
     st.lock_all_held = False
     win.epoch_access = None
+    win.ctx.env.note_progress()

@@ -68,6 +68,7 @@ def post(win, group):
     if win.rank in group:
         raise EpochError("a rank cannot post to itself")
     ctx = win.ctx
+    ctx.note_api(f"win.post(group={sorted(group)})")
     # Prior local stores must be visible before peers may access.
     yield from ctx.xpmem.mfence()
     cap = win.params.pscw_ring_capacity
@@ -83,6 +84,7 @@ def post(win, group):
     st.exposure_group = set(group)
     st.epochs_posted += 1
     win.epoch_exposure = "pscw"
+    ctx.env.note_progress()
 
 
 def start(win, group):
@@ -94,6 +96,7 @@ def start(win, group):
         raise EpochError(
             f"start() while in a {win.epoch_access!r} access epoch")
     ctx = win.ctx
+    ctx.note_api(f"win.start(group={sorted(group)})")
     yield from ctx.compute(win.params.pscw_start_overhead)
     cap = win.params.pscw_ring_capacity
     ctrl = win.ctrl
@@ -113,6 +116,7 @@ def start(win, group):
     st.access_group = set(group)
     st.epochs_started += 1
     win.epoch_access = "pscw"
+    ctx.env.note_progress()
 
 
 def complete(win):
@@ -121,6 +125,7 @@ def complete(win):
     if win.epoch_access != "pscw":
         raise EpochError("complete() without a matching start()")
     ctx = win.ctx
+    ctx.note_api("win.complete()")
     # Remote visibility of all epoch operations first ...
     yield from ctx.xpmem.mfence()
     yield from ctx.dmapp.gsync()
@@ -134,6 +139,7 @@ def complete(win):
                                          win_mod.IDX_PSCW_DONE, "add", 1)
     st.access_group = set()
     win.epoch_access = None
+    ctx.env.note_progress()
 
 
 def wait(win):
@@ -142,6 +148,7 @@ def wait(win):
     if win.epoch_exposure != "pscw":
         raise EpochError("wait() without a matching post()")
     ctx = win.ctx
+    ctx.note_api("win.wait()")
     expected = len(st.exposure_group)
     yield from ctx.compute(win.params.pscw_wait_overhead)
     if expected:
@@ -150,3 +157,4 @@ def wait(win):
         win.ctrl.fadd(win_mod.IDX_PSCW_DONE, -expected)
     st.exposure_group = set()
     win.epoch_exposure = None
+    ctx.env.note_progress()

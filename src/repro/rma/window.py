@@ -391,9 +391,11 @@ class Window:
         if self.epoch_access not in ("lock", "lock_all", "fence", "pscw"):
             raise EpochError("flush outside a passive/active epoch")
         self.op_counts["flush"] += 1
+        self.ctx.note_api(f"win.flush(target={target})")
         yield from self.ctx.instr(self.params.instr_flush)
         yield from self.ctx.compute(self.params.mfence_ns)
         yield from self.ctx.dmapp.gsync()
+        self.ctx.env.note_progress()
 
     def flush_all(self):
         yield from self.flush(None)

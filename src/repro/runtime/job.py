@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.config import MachineConfig, RunResult, SimConfig
+from repro.config import FaultConfig, MachineConfig, RunResult, SimConfig
 from repro.machine.params import GeminiParams, XpmemParams
 from repro.mpi1.params import Mpi1Params
 from repro.runtime.process import RankContext
@@ -28,10 +28,11 @@ class Job:
     gemini: GeminiParams = field(default_factory=GeminiParams)
     xpmem: XpmemParams = field(default_factory=XpmemParams)
     mpi1: Mpi1Params = field(default_factory=Mpi1Params)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def build_world(self) -> World:
         return World(self.nranks, self.machine, self.sim, self.gemini,
-                     self.xpmem, self.mpi1)
+                     self.xpmem, self.mpi1, self.faults)
 
     def run(self, program: Callable, *args, **kwargs) -> RunResult:
         """Run ``program(ctx, *args, **kwargs)`` on every rank."""
@@ -39,19 +40,66 @@ class Job:
         return run_on_world(world, program, *args, **kwargs)
 
 
+def _crash_reaper(world, procs):
+    """Kill the rank processes of crashed nodes at their crash times.
+
+    Fail-stop semantics: at each planned crash instant the node's ranks are
+    interrupted (they never run again) and the node is quarantined -- every
+    later operation addressed to it fails fast with
+    :class:`~repro.errors.NodeCrashedError`.
+    """
+    inj = world.injector
+    events = sorted({(inj.crash_time(cr.node), cr.node)
+                     for cr in world.faults.plan.crashes})
+    for when, node in events:
+        delta = when - world.env.now
+        if delta > 0:
+            yield world.env.timeout(delta)
+        inj.mark_crashed(node)
+        for rank, proc in enumerate(procs):
+            if world.rank_map.node_of(rank) == node and proc.is_alive:
+                proc.interrupt(cause=f"node {node} crashed at {when}ns")
+        world.env.note_progress()
+
+
 def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
     """Run an SPMD program on an existing world (exposed for tests that
     need to inspect world state afterwards)."""
+    from repro.errors import NodeCrashedError
+    from repro.sim.kernel import Interrupt
+
     contexts = [RankContext(world, r) for r in range(world.nranks)]
     procs = [world.env.process(program(ctx, *args, **kwargs),
                                name=f"rank{ctx.rank}")
              for ctx in contexts]
+    inj = world.injector
+    if inj is not None and inj.has_crashes:
+        world.env.process(_crash_reaper(world, procs), name="crash-reaper")
     world.env.run()
+
+    returns = []
+    for rank, p in enumerate(procs):
+        value = p.value
+        if isinstance(value, BaseException):
+            # Normalize deaths to structured diagnostics: ranks killed by
+            # the reaper report the crash; survivors that tripped over a
+            # quarantined peer already carry a NodeCrashedError.
+            if isinstance(value, Interrupt):
+                node = world.rank_map.node_of(rank)
+                value = NodeCrashedError(node, inj.crash_time(node) or 0,
+                                         f"rank {rank} killed")
+        returns.append(value)
+
+    stats = world.counters.snapshot()
+    if inj is not None:
+        stats.update(inj.stats.snapshot())
+        if world.env.tracer is not None:
+            stats["fault_trace_counts"] = dict(world.env.tracer.fault_counts)
     return RunResult(
-        returns=[p.value for p in procs],
+        returns=returns,
         sim_time_ns=world.env.now,
         events_processed=world.env.events_processed,
-        stats=world.counters.snapshot(),
+        stats=stats,
     )
 
 
@@ -61,16 +109,20 @@ def run_spmd(program: Callable, nranks: int, *args,
              gemini: GeminiParams | None = None,
              xpmem: XpmemParams | None = None,
              mpi1: Mpi1Params | None = None,
+             faults: FaultConfig | None = None,
              **kwargs) -> RunResult:
     """One-shot SPMD run; the package's main entry point.
 
     Parameters mirror :class:`Job`; extra positional/keyword arguments are
-    forwarded to ``program`` after the rank context.
+    forwarded to ``program`` after the rank context.  ``faults`` attaches a
+    :class:`~repro.config.FaultConfig`; without one, no fault machinery is
+    constructed and runs are bit-identical to the unhardened code.
     """
     job = Job(nranks=nranks,
               machine=machine or MachineConfig(),
               sim=sim or SimConfig(),
               gemini=gemini or GeminiParams(),
               xpmem=xpmem or XpmemParams(),
-              mpi1=mpi1 or Mpi1Params())
+              mpi1=mpi1 or Mpi1Params(),
+              faults=faults or FaultConfig())
     return job.run(program, *args, **kwargs)

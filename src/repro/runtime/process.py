@@ -18,7 +18,7 @@ can hide.
 
 from __future__ import annotations
 
-from repro.dmapp.api import DmappEndpoint
+from repro.dmapp.api import DmappEndpoint, ResilientDmappEndpoint
 from repro.mpi1.pt2pt import Mpi1Endpoint
 from repro.xpmem.api import XpmemEndpoint
 
@@ -36,8 +36,15 @@ class RankContext:
         self.node = world.rank_map.node_of(rank)
         self.space = world.spaces[rank]
         self.reg = world.reg_tables[rank]
-        self.dmapp = DmappEndpoint(world.env, rank, world.network,
-                                   world.rank_map, world.reg_tables)
+        if world.injector is not None:
+            # Faulty fabric: the hardened transport (deadlines, seeded
+            # backoff, idempotent retransmit, AMO replay dedup).
+            self.dmapp = ResilientDmappEndpoint(
+                world.env, rank, world.network, world.rank_map,
+                world.reg_tables, world.injector, world.faults)
+        else:
+            self.dmapp = DmappEndpoint(world.env, rank, world.network,
+                                       world.rank_map, world.reg_tables)
         self.xpmem = XpmemEndpoint(world.env, rank, world.rank_map,
                                    world.xpmem, world.counters)
         self.mpi = Mpi1Endpoint(world.env, rank, world.network,
@@ -80,6 +87,12 @@ class RankContext:
 
             self._caf = CafContext(self)
         return self._caf
+
+    # -- diagnostics -----------------------------------------------------
+    def note_api(self, site: str) -> None:
+        """Record this rank's last API call site for deadlock/livelock
+        diagnostics (a dict write; never perturbs simulation state)."""
+        self.env.api_sites[f"rank{self.rank}"] = site
 
     # -- time -----------------------------------------------------------
     @property

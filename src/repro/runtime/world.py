@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.config import MachineConfig, SimConfig
+from repro.config import FaultConfig, MachineConfig, SimConfig
 from repro.machine.network import Network
 from repro.machine.params import GeminiParams, XpmemParams
 from repro.machine.topology import RankMap, Torus3D
@@ -11,7 +11,7 @@ from repro.mem.registration import RegistrationTable
 from repro.mpi1.params import Mpi1Params
 from repro.sim.kernel import Environment
 from repro.sim.random import stream
-from repro.sim.trace import OpCounters
+from repro.sim.trace import OpCounters, Tracer
 
 __all__ = ["World"]
 
@@ -27,6 +27,7 @@ class World:
         gemini: GeminiParams | None = None,
         xpmem: XpmemParams | None = None,
         mpi1: Mpi1Params | None = None,
+        faults: FaultConfig | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("need at least one rank")
@@ -36,13 +37,34 @@ class World:
         self.gemini = gemini or GeminiParams()
         self.xpmem = xpmem or XpmemParams()
         self.mpi1 = mpi1 or Mpi1Params()
+        self.faults = faults or FaultConfig()
 
-        self.env = Environment(max_events=self.sim.max_events)
+        # With planned crashes, rank processes die by Interrupt; the run
+        # must survive those instead of aborting (non-strict kernel).
+        has_crashes = (self.faults.plan is not None
+                       and bool(self.faults.plan.crashes))
+        self.env = Environment(max_events=self.sim.max_events,
+                               strict=not has_crashes,
+                               watchdog_interval=self.sim.watchdog_interval,
+                               watchdog_stalls=self.sim.watchdog_stalls)
+        if self.sim.trace:
+            self.env.tracer = Tracer()
+        # The injector exists only when a FaultPlan is active; every fault
+        # hook in the machine/transport layers is behind an ``is None``
+        # test, so fault-free runs stay bit-identical to pre-fault code.
+        if self.faults.active:
+            from repro.faults import FaultInjector
+
+            self.injector = FaultInjector(self.faults.plan, self.faults,
+                                          self.sim.seed, self.env)
+        else:
+            self.injector = None
         self.rank_map = RankMap.for_config(nranks, self.machine)
         self.torus = Torus3D(self.machine.derive_torus(nranks))
         self.counters = OpCounters()
         self.network = Network(self.env, self.torus, self.rank_map,
-                               self.gemini, self.counters)
+                               self.gemini, self.counters,
+                               injector=self.injector)
         self.spaces = {r: AddressSpace(r) for r in range(nranks)}
         self.reg_tables = {r: RegistrationTable(r) for r in range(nranks)}
         self.mpi_registry: dict = {}

@@ -23,7 +23,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, LivelockError, SimulationError
 
 __all__ = [
     "Environment",
@@ -156,6 +156,7 @@ class Process(Event):
         self._target: Event | None = None
         self._interrupts: list[Interrupt] = []
         env._nprocesses += 1
+        env._live.add(self)
         # Bootstrap: resume the generator at the current instant.
         init = Event(env, name=f"init:{self.name}")
         init._ok = True
@@ -200,11 +201,14 @@ class Process(Event):
             except StopIteration as stop:
                 env._active = None
                 env._nprocesses -= 1
+                env._live.discard(self)
+                env.note_progress()
                 self.succeed(stop.value, priority=URGENT)
                 return
             except BaseException as exc:
                 env._active = None
                 env._nprocesses -= 1
+                env._live.discard(self)
                 if env.strict:
                     self._ok = False
                     self._value = exc
@@ -307,18 +311,59 @@ class Environment:
     strict:
         When True (the default), an uncaught exception inside any process
         aborts :meth:`run` immediately -- the right behaviour for tests.
+    watchdog_interval:
+        Events between progress-watchdog checks; 0 disables the watchdog.
+    watchdog_stalls:
+        Consecutive stale checks (no :meth:`note_progress` calls anywhere)
+        before :class:`~repro.errors.LivelockError` is raised.
+
+    The watchdog is a pure observer: it reads counters, schedules nothing,
+    and therefore cannot perturb event order or simulated time.  Protocol
+    layers call :meth:`note_progress` at genuine success points (lock
+    acquired, message matched, data op completed, process finished);
+    retry/backoff loops do not, which is exactly what separates heavy
+    contention (someone keeps succeeding) from livelock (nobody does).
     """
 
-    def __init__(self, max_events: int = 200_000_000, strict: bool = True) -> None:
+    def __init__(self, max_events: int = 200_000_000, strict: bool = True,
+                 watchdog_interval: int = 0, watchdog_stalls: int = 3) -> None:
         self._now = 0
         self._queue: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._nprocesses = 0
         self._active: Process | None = None
+        self._live: set[Process] = set()
         self.max_events = max_events
         self.strict = strict
         self.events_processed = 0
         self.tracer = None  # installed by sim.trace.Tracer when wanted
+        # Livelock watchdog state (see class docstring).
+        self.progress_marks = 0
+        self.watchdog_interval = int(watchdog_interval)
+        self.watchdog_stalls = int(watchdog_stalls)
+        self._wd_next = self.watchdog_interval or 0
+        self._wd_marks = 0
+        self._wd_stale = 0
+        # rank-name -> last API call site, maintained by the runtime layer;
+        # feeds deadlock/livelock diagnostics.
+        self.api_sites: dict[str, str] = {}
+
+    def note_progress(self) -> None:
+        """Record one unit of protocol progress (watchdog heartbeat)."""
+        self.progress_marks += 1
+
+    def blocked_diagnostics(self) -> tuple[tuple[str, ...], dict[str, str]]:
+        """Names of still-live processes plus where each one is stuck."""
+        names = []
+        sites: dict[str, str] = {}
+        for proc in sorted(self._live, key=lambda p: p.name):
+            names.append(proc.name)
+            site = self.api_sites.get(proc.name)
+            if site is None and proc._target is not None and proc._target.name:
+                site = f"waiting on {proc._target.name}"
+            if site is not None:
+                sites[proc.name] = site
+        return tuple(names), sites
 
     # -- time ------------------------------------------------------------
     @property
@@ -387,11 +432,28 @@ class Environment:
                     f"exceeded max_events={self.max_events} "
                     f"(simulated t={self._now}ns) -- runaway protocol?")
             self.step()
+            if self.watchdog_interval and self.events_processed >= self._wd_next:
+                self._watchdog_check()
 
         if stop_event is not None:
             if stop_event.processed:
                 return stop_event.value if stop_event._ok else None
-            raise DeadlockError(self._nprocesses, self._now)
+            names, sites = self.blocked_diagnostics()
+            raise DeadlockError(self._nprocesses, self._now, names, sites)
         if self._nprocesses > 0:
-            raise DeadlockError(self._nprocesses, self._now)
+            names, sites = self.blocked_diagnostics()
+            raise DeadlockError(self._nprocesses, self._now, names, sites)
         return None
+
+    def _watchdog_check(self) -> None:
+        self._wd_next = self.events_processed + self.watchdog_interval
+        if self.progress_marks != self._wd_marks or self._nprocesses == 0:
+            self._wd_marks = self.progress_marks
+            self._wd_stale = 0
+            return
+        self._wd_stale += 1
+        if self._wd_stale >= self.watchdog_stalls:
+            names, sites = self.blocked_diagnostics()
+            raise LivelockError(
+                self._now, self.events_processed,
+                self._wd_stale * self.watchdog_interval, names, sites)

@@ -16,15 +16,31 @@ __all__ = ["Tracer", "OpCounters"]
 
 
 class Tracer:
-    """Optional raw event recorder; install with ``env.tracer = Tracer()``."""
+    """Optional raw event recorder; install with ``env.tracer = Tracer()``.
+
+    Besides kernel events, the fault injector feeds injected-fault and
+    recovery records (``fault:drop``, ``fault:retransmit``, ...) into the
+    same timeline, so a trace of a faulty run shows where time went:
+    which packets were lost, when the NIC stalled, and how often each
+    transport retransmitted.
+    """
 
     def __init__(self, limit: int = 1_000_000) -> None:
         self.records: list[tuple[int, str]] = []
+        self.fault_counts: Counter = Counter()
         self.limit = limit
 
     def record(self, now: int, event) -> None:
         if len(self.records) < self.limit:
             self.records.append((now, event.name or type(event).__name__))
+
+    def record_fault(self, now: int, kind: str, detail: str = "") -> None:
+        self.fault_counts[kind] += 1
+        if len(self.records) < self.limit:
+            label = f"fault:{kind}"
+            if detail:
+                label += f" {detail}"
+            self.records.append((now, label))
 
 
 @dataclass

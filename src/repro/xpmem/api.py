@@ -72,6 +72,7 @@ class XpmemEndpoint:
             self.counters.count_issue(self.rank, "xpmem-store", src.size)
         yield self.env.timeout(cost)
         token.seg.write(offset, src)
+        self.env.note_progress()  # completed data movement
 
     def load(self, token: XpmemSegment, offset: int, nbytes: int):
         """CPU copy out of an attached segment ('get' direction).
@@ -84,6 +85,7 @@ class XpmemEndpoint:
         if self.counters is not None:
             self.counters.count_issue(self.rank, "xpmem-load", nbytes)
         yield self.env.timeout(cost)
+        self.env.note_progress()  # completed data movement
         return token.seg.read(offset, nbytes)
 
     # -- CPU atomics -------------------------------------------------------

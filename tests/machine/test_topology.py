@@ -89,6 +89,19 @@ def test_machine_config_derive_torus():
     assert x * y * z >= 64
 
 
+@pytest.mark.parametrize("ranks_per_node", [1, 2, 32])
+@pytest.mark.parametrize("nranks", [1, 2, 3, 7, 8, 31, 32, 33, 63, 64, 100,
+                                    512, 1000, 4096, 10_000])
+def test_derived_torus_fits_node_count(nranks, ranks_per_node):
+    """Every derived torus must hold all nodes the rank count needs, stay
+    near-cubic (x >= y >= z) and have strictly positive dimensions."""
+    cfg = MachineConfig(ranks_per_node=ranks_per_node)
+    x, y, z = cfg.derive_torus(nranks)
+    assert x >= 1 and y >= 1 and z >= 1
+    assert x * y * z >= cfg.nodes_for(nranks)
+    assert x >= y >= z
+
+
 def test_machine_config_explicit_torus():
     cfg = MachineConfig(torus_shape=(8, 8, 8))
     assert cfg.derive_torus(10_000) == (8, 8, 8)

@@ -13,6 +13,7 @@ from repro import run_spmd
 from repro.config import MachineConfig, SimConfig
 from repro.errors import (
     DeadlockError,
+    LivelockError,
     Mpi1Error,
     RegistrationError,
     SimulationError,
@@ -32,6 +33,11 @@ def test_pscw_cyclic_start_deadlocks():
     with pytest.raises(DeadlockError) as exc:
         run_spmd(program, 2, machine=INTER)
     assert exc.value.blocked == 2
+    # Diagnostics name the stuck ranks and their last API call site.
+    assert exc.value.blocked_ranks == ("rank0", "rank1")
+    assert exc.value.sites["rank0"] == "win.start(group=[1])"
+    assert exc.value.sites["rank1"] == "win.start(group=[0])"
+    assert "rank0 [win.start(group=[1])]" in str(exc.value)
 
 
 def test_recv_without_send_deadlocks():
@@ -39,8 +45,10 @@ def test_recv_without_send_deadlocks():
         if ctx.rank == 0:
             yield from ctx.mpi.recv(1, tag=9)
 
-    with pytest.raises(DeadlockError):
+    with pytest.raises(DeadlockError) as exc:
         run_spmd(program, 2, machine=INTER)
+    assert exc.value.blocked_ranks == ("rank0",)
+    assert exc.value.sites["rank0"] == "mpi.recv(src=1, tag=9)"
 
 
 def test_mismatched_collective_deadlocks():
@@ -54,8 +62,10 @@ def test_mismatched_collective_deadlocks():
 
 
 def test_lock_livelock_hits_backstop():
-    """A never-released exclusive lock spins the waiter until the
-    max_events backstop fires with a diagnostic."""
+    """A never-released exclusive lock spins the waiter forever.  The
+    progress watchdog converts this into a :class:`LivelockError` naming
+    the spinning ranks -- in a small fraction of the 40k-event budget the
+    ``max_events`` backstop used to need."""
     def program(ctx):
         win = yield from ctx.rma.win_allocate(64)
         yield from ctx.coll.barrier()
@@ -70,9 +80,33 @@ def test_lock_livelock_hits_backstop():
             yield from win.lock(2, LockType.EXCLUSIVE)
             yield from win.unlock(2)
 
-    with pytest.raises((SimulationError, DeadlockError)):
+    with pytest.raises(LivelockError) as exc:
         run_spmd(program, 3, machine=INTER,
                  sim=SimConfig(max_events=40_000))
+    # Detected far earlier than the 40k max_events backstop ...
+    assert exc.value.events < 4_000
+    # ... and the diagnostic names the rank spinning in lock().
+    assert "rank1" in exc.value.blocked_ranks
+    assert "win.lock" in exc.value.sites["rank1"]
+
+
+def test_watchdog_can_be_disabled():
+    """watchdog_interval=0 restores the old backstop-only behaviour."""
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(64)
+        yield from ctx.coll.barrier()
+        from repro.rma.enums import LockType
+
+        if ctx.rank == 0:
+            yield from win.lock(1, LockType.EXCLUSIVE)
+            yield from ctx.compute(1)
+        else:
+            yield from ctx.compute(5_000)
+            yield from win.lock(1, LockType.EXCLUSIVE)
+
+    with pytest.raises(SimulationError, match="max_events"):
+        run_spmd(program, 2, machine=INTER,
+                 sim=SimConfig(max_events=40_000, watchdog_interval=0))
 
 
 def test_stale_descriptor_after_deregistration():
