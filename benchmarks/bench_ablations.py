@@ -66,10 +66,13 @@ def test_ablation_fence_vs_pscw_choice(benchmark, record_series):
     cases = [(8, 2), (32, 2), (32, 8), (64, 4)]
 
     def run():
+        from repro.bench import BenchPoint, run_points
+        fence_times = run_points(
+            [BenchPoint(_fence_time, (p,)) for p, _k in cases])
+        pscw_times = run_points(
+            [BenchPoint(_pscw_time, (p, min(k, p - 1))) for p, k in cases])
         rows = []
-        for p, k in cases:
-            tf = _fence_time(p)
-            tp = _pscw_time(p, min(k, p - 1))
+        for (p, k), tf, tp in zip(cases, fence_times, pscw_times):
             measured = "PSCW" if tp < tf else "fence"
             predicted = "PSCW" if prefer_pscw(PAPER_MODELS, p=p, k=k) \
                 else "fence"

@@ -7,7 +7,7 @@ foMPI.
 
 import pytest
 
-from repro.bench import Series, format_series_table
+from repro.bench import BenchPoint, Series, format_series_table, run_points
 from repro.bench import microbench as mb
 from repro.models.params_fompi import paper_model
 
@@ -16,11 +16,14 @@ SIZES = [8, 64, 512, 4096, 32768, 262144]
 
 def _latency_series(direction: str, intra: bool):
     fn = mb.put_latency if direction == "put" else mb.get_latency
+    points = [BenchPoint(fn, (transport, size), {"intra": intra})
+              for transport in mb.LATENCY_TRANSPORTS for size in SIZES]
+    values = iter(run_points(points))
     series = []
     for transport in mb.LATENCY_TRANSPORTS:
         s = Series(label=transport, meta={"unit": "us", "mode": "sim"})
         for size in SIZES:
-            s.add(size, round(fn(transport, size, intra=intra) / 1e3, 3))
+            s.add(size, round(next(values) / 1e3, 3))
         series.append(s)
     model = paper_model(direction)
     ref = Series(label="paper-model", meta={"unit": "us", "mode": "model"})

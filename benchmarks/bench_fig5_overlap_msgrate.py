@@ -1,21 +1,25 @@
 """Figure 5: (a) communication/computation overlap, (b) inter-node message
 rate, (c) intra-node message rate."""
 
-from repro.bench import Series, format_series_table
+from repro.bench import BenchPoint, Series, format_series_table, run_points
 from repro.bench import microbench as mb
 
 OVERLAP_SIZES = [8, 512, 4096, 32768, 262144, 2097152]
 RATE_SIZES = [8, 64, 512, 4096, 32768, 262144]
+OVERLAP_TRANSPORTS = ("fompi", "upc", "cray22")
 
 
 def test_fig5a_overlap(benchmark, record_series):
     def run():
+        points = [BenchPoint(mb.overlap_fraction, (transport, size))
+                  for transport in OVERLAP_TRANSPORTS
+                  for size in OVERLAP_SIZES]
+        values = iter(run_points(points))
         series = []
-        for transport in ("fompi", "upc", "cray22"):
+        for transport in OVERLAP_TRANSPORTS:
             s = Series(label=transport, meta={"unit": "%", "mode": "sim"})
             for size in OVERLAP_SIZES:
-                s.add(size, round(
-                    100 * mb.overlap_fraction(transport, size), 1))
+                s.add(size, round(100 * next(values), 1))
             series.append(s)
         return series
 
@@ -32,14 +36,17 @@ def test_fig5a_overlap(benchmark, record_series):
 
 
 def _rate_series(intra: bool):
+    points = [BenchPoint(mb.message_rate, (transport, size),
+                         {"intra": intra,
+                          "nmsgs": 400 if size <= 4096 else 120})
+              for transport in mb.LATENCY_TRANSPORTS
+              for size in RATE_SIZES]
+    values = iter(run_points(points))
     series = []
     for transport in mb.LATENCY_TRANSPORTS:
         s = Series(label=transport, meta={"unit": "Mmsg/s", "mode": "sim"})
         for size in RATE_SIZES:
-            nm = 400 if size <= 4096 else 120
-            s.add(size, round(
-                mb.message_rate(transport, size, intra=intra, nmsgs=nm) / 1e6,
-                4))
+            s.add(size, round(next(values) / 1e6, 4))
         series.append(s)
     return series
 

@@ -1,7 +1,8 @@
 """Figure 6: (a) atomics, (b) global synchronization, (c) PSCW ring,
 plus the Section 3.2 passive-target constants."""
 
-from repro.bench import Series, format_series_table, format_table
+from repro.bench import (BenchPoint, Series, format_series_table,
+                         format_table, run_points)
 from repro.bench import microbench as mb
 from repro.bench import syncbench as sb
 from repro.models.params_fompi import paper_model
@@ -15,13 +16,20 @@ def test_fig6a_atomics(benchmark, record_series):
     kinds = ["fompi_sum", "fompi_min", "fompi_cas", "upc_aadd", "upc_cas"]
 
     def run():
+        kind_elems = [
+            (kind, [1] if "cas" in kind or kind == "upc_aadd"
+             else ATOMIC_ELEMS)
+            for kind in kinds]
+        points = [
+            BenchPoint(mb.atomic_latency, (kind, n),
+                       {"reps": 2 if n >= 4096 else 4})
+            for kind, elems in kind_elems for n in elems]
+        values = iter(run_points(points))
         series = []
-        for kind in kinds:
+        for kind, elems in kind_elems:
             s = Series(label=kind, meta={"unit": "us", "mode": "sim"})
-            elems = [1] if "cas" in kind or kind == "upc_aadd" else ATOMIC_ELEMS
             for n in elems:
-                reps = 2 if n >= 4096 else 4
-                s.add(n, round(mb.atomic_latency(kind, n, reps=reps) / 1e3, 3))
+                s.add(n, round(next(values) / 1e3, 3))
             series.append(s)
         ref = Series(label="paper P_acc,sum", meta={"mode": "model"})
         for n in ATOMIC_ELEMS:
@@ -45,11 +53,14 @@ def test_fig6b_global_sync(benchmark, record_series):
     transports = ["fompi", "upc", "caf", "cray22"]
 
     def run():
+        points = [BenchPoint(sb.global_sync_latency, (t, p))
+                  for t in transports for p in SYNC_PS]
+        values = iter(run_points(points))
         series = []
         for t in transports:
             s = Series(label=t, meta={"unit": "us", "mode": "sim"})
             for p in SYNC_PS:
-                s.add(p, round(sb.global_sync_latency(t, p) / 1e3, 2))
+                s.add(p, round(next(values) / 1e3, 2))
             series.append(s)
         ref = Series(label="paper P_fence", meta={"mode": "model"})
         for p in SYNC_PS:
@@ -70,14 +81,18 @@ def test_fig6b_global_sync(benchmark, record_series):
 
 def test_fig6c_pscw_ring(benchmark, record_series):
     def run():
+        points = [
+            BenchPoint(sb.pscw_ring_latency, (t, p),
+                       {"noise_ns": 400.0 if (t == "fompi" and p > 64)
+                        else 0.0})
+            for t in ("fompi", "cray22") for p in PSCW_PS]
+        values = iter(run_points(points))
         series = []
         for t in ("fompi", "cray22"):
             s = Series(label=t, meta={"unit": "us", "mode": "sim",
                                       "note": "32 ranks/node; k=2 ring"})
             for p in PSCW_PS:
-                noise = 400.0 if (t == "fompi" and p > 64) else 0.0
-                s.add(p, round(
-                    sb.pscw_ring_latency(t, p, noise_ns=noise) / 1e3, 2))
+                s.add(p, round(next(values) / 1e3, 2))
             series.append(s)
         return series
 

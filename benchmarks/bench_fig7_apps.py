@@ -5,7 +5,7 @@
 """
 
 from repro.apps.fft import FftSpec
-from repro.bench import Series, format_series_table
+from repro.bench import BenchPoint, Series, format_series_table, run_points
 from repro.bench.appbench import dsde_time_us, fft_gflops, hashtable_rate
 
 HT_PS = [2, 8, 32, 128, 512]     # 32 ranks/node: knee at p=32
@@ -16,13 +16,17 @@ FFT_PS = [8, 32, 128]            # 2 ranks/node: inter-node transposes,
 
 def test_fig7a_hashtable(benchmark, record_series):
     def run():
+        variants = ("fompi", "upc", "mpi1")
+        points = [BenchPoint(hashtable_rate, (variant, p, 64))
+                  for variant in variants for p in HT_PS]
+        values = iter(run_points(points))
         series = []
-        for variant in ("fompi", "upc", "mpi1"):
+        for variant in variants:
             s = Series(label=variant,
                        meta={"unit": "Minserts/s", "mode": "sim",
                              "inserts_per_rank": 64})
             for p in HT_PS:
-                s.add(p, round(hashtable_rate(variant, p, 64) / 1e6, 3))
+                s.add(p, round(next(values) / 1e6, 3))
             series.append(s)
         return series
 
@@ -47,12 +51,15 @@ def test_fig7b_dsde(benchmark, record_series):
     protocols = ["alltoall", "reduce_scatter", "nbx", "rma", "rma_cray22"]
 
     def run():
+        points = [BenchPoint(dsde_time_us, (proto, p, 6))
+                  for proto in protocols for p in DSDE_PS]
+        values = iter(run_points(points))
         series = []
         for proto in protocols:
             s = Series(label=proto, meta={"unit": "us", "mode": "sim",
                                           "k": 6})
             for p in DSDE_PS:
-                s.add(p, round(dsde_time_us(proto, p, 6), 1))
+                s.add(p, round(next(values), 1))
             series.append(s)
         return series
 
@@ -74,16 +81,20 @@ def test_fig7c_fft(benchmark, record_series):
     spec = FftSpec(nx=64, ny=64, nz=64, flop_rate=2.5e10, chunks=4)
 
     def run():
+        variant_labels = (("mpi1", "mpi1"), ("rma_overlap", "fompi"),
+                          ("upc_overlap", "upc"))
+        points = [BenchPoint(fft_gflops, (variant, p, spec),
+                             {"ranks_per_node": 2})
+                  for variant, _label in variant_labels for p in FFT_PS]
+        values = iter(run_points(points))
         series = []
-        for variant, label in (("mpi1", "mpi1"), ("rma_overlap", "fompi"),
-                               ("upc_overlap", "upc")):
+        for variant, label in variant_labels:
             s = Series(label=label,
                        meta={"unit": "GFlop/s", "mode": "sim",
                              "grid": "64^3 mini (class-D shape, "
                                      "see EXPERIMENTS.md)"})
             for p in FFT_PS:
-                s.add(p, round(
-                    fft_gflops(variant, p, spec, ranks_per_node=2), 3))
+                s.add(p, round(next(values), 3))
             series.append(s)
         imp = Series(label="fompi improvement %", meta={"mode": "derived"})
         mpi = next(s for s in series if s.label == "mpi1")

@@ -2,7 +2,7 @@
 foMPI/UPC-over-MPI-1 improvement annotations."""
 
 from repro.apps.milc import MilcSpec
-from repro.bench import Series, format_series_table
+from repro.bench import BenchPoint, Series, format_series_table, run_points
 from repro.bench.appbench import milc_time_s
 
 PS = [8, 32, 128]
@@ -11,14 +11,18 @@ SPEC = MilcSpec(local=(4, 4, 4, 8), maxiter=25, tol=0.0)
 
 def test_fig8_milc(benchmark, record_series):
     def run():
+        variant_labels = (("mpi1", "mpi1"), ("rma", "fompi"),
+                          ("upc", "upc"))
+        points = [BenchPoint(milc_time_s, (variant, p, SPEC))
+                  for variant, _label in variant_labels for p in PS]
+        values = iter(run_points(points))
         series = []
-        for variant, label in (("mpi1", "mpi1"), ("rma", "fompi"),
-                               ("upc", "upc")):
+        for variant, label in variant_labels:
             s = Series(label=label,
                        meta={"unit": "ms (simulated)", "mode": "sim",
                              "local_lattice": "4^3 x 8, 25 CG iterations"})
             for p in PS:
-                s.add(p, round(milc_time_s(variant, p, SPEC) * 1e3, 3))
+                s.add(p, round(next(values) * 1e3, 3))
             series.append(s)
         imp = Series(label="fompi improvement %", meta={"mode": "derived"})
         mpi = next(s for s in series if s.label == "mpi1")

@@ -6,22 +6,51 @@ runs the simulated experiment, prints the series as a fixed-width table
 and wraps the whole driver in ``benchmark`` so the usual
 ``pytest benchmarks/ --benchmark-only`` flow reports wall-clock cost of
 regenerating each figure.
+
+Perf plumbing (see DESIGN.md, "Performance subsystem"):
+
+* figure sweeps fan out over a process pool (``repro.bench.pool``) and
+  consult the content-addressed run cache (``repro.bench.cache``);
+* ``--no-cache`` forces every point to recompute (it sets
+  ``REPRO_BENCH_CACHE=0`` for the whole session);
+* at session end the per-figure wall times and the suite-wide pool/cache
+  counters are merged into ``BENCH_simperf.json`` at the repo root, next
+  to the kernel-throughput section written by ``bench_kernel.py``.
 """
 
 import json
+import os
 import pathlib
+import time
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPORT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simperf.json"
+
+_FIGURE_TIMES: dict[str, float] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-cache", action="store_true", default=False,
+        help="disable the content-addressed benchmark run cache "
+             "(sets REPRO_BENCH_CACHE=0 for this session)")
+
+
+def pytest_configure(config):
+    if config.getoption("--no-cache", default=False):
+        os.environ["REPRO_BENCH_CACHE"] = "0"
 
 
 @pytest.fixture
-def record_series():
+def record_series(request):
     """Print + persist a figure's series; returns the writer function."""
     RESULTS_DIR.mkdir(exist_ok=True)
+    t0 = time.perf_counter()
 
     def _write(name: str, table: str, series: list) -> None:
+        _FIGURE_TIMES[name] = round(time.perf_counter() - t0, 3)
         print()
         print(table)
         payload = [s.as_dict() if hasattr(s, "as_dict") else s
@@ -30,3 +59,37 @@ def record_series():
         (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
 
     return _write
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge per-figure wall times + pool/cache totals into the report."""
+    if not _FIGURE_TIMES:
+        return
+    try:
+        from repro.bench.cache import cache_enabled, default_cache_dir
+        from repro.bench.pool import default_workers, pool_totals
+    except ImportError:
+        return
+    totals = pool_totals()
+    report = {}
+    if REPORT.exists():
+        try:
+            report = json.loads(REPORT.read_text())
+        except (ValueError, OSError):
+            report = {}
+    report["figures"] = {"wall_s": dict(sorted(_FIGURE_TIMES.items())),
+                         "total_wall_s": round(sum(_FIGURE_TIMES.values()), 3)}
+    report["pool"] = {"workers": default_workers(),
+                      "points": totals.points,
+                      "executed": totals.executed,
+                      "used_parallel": totals.parallel}
+    hit_rate = (totals.cache_hits / totals.points) if totals.points else 0.0
+    report["cache"] = {"enabled": cache_enabled(),
+                       "dir": str(default_cache_dir()),
+                       "hits": totals.cache_hits,
+                       "misses": totals.executed,
+                       "hit_rate": round(hit_rate, 3)}
+    try:
+        REPORT.write_text(json.dumps(report, indent=1) + "\n")
+    except OSError:
+        pass

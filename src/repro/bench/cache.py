@@ -1,0 +1,206 @@
+"""Content-addressed run cache for benchmark points.
+
+Regenerating a figure means re-running many independent simulation points;
+most of them are unchanged between invocations.  This module caches point
+results on disk, keyed by a digest of everything that determines the
+result:
+
+* the package version (``repro.__version__``) -- bumping it invalidates
+  every entry, the coarse "timing model changed" hammer,
+* the fully qualified name **and source hash** of the driver / SPMD
+  program, so editing the driver itself always misses,
+* the full argument/config snapshot (dataclass configs are canonicalized
+  field by field, numpy arrays by digest), which covers machine/sim/
+  transport parameters and the master seed.
+
+The key deliberately does **not** chase transitive dependencies (a change
+inside, say, the DMAPP timing model without a version bump keeps old
+entries warm); ``--no-cache`` on the benchmark suite, the
+``REPRO_BENCH_CACHE=0`` environment switch, or a version bump are the
+invalidation tools, exactly as documented in DESIGN.md.
+
+Entries are pickled under ``benchmarks/results/cache/<digest>.pkl``
+(override the root with ``REPRO_CACHE_DIR``).  Unreadable or corrupt
+entries count as misses and are overwritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+from repro._version import __version__
+
+__all__ = ["RunCache", "cache_enabled", "default_cache_dir",
+           "fingerprint", "cached_run_spmd"]
+
+_MISS = object()
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_BENCH_CACHE`` is 0/off/false (default: on)."""
+    return os.environ.get("REPRO_BENCH_CACHE", "1").lower() \
+        not in ("0", "off", "false", "no")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``<cwd>/benchmarks/results/cache``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.cwd() / "benchmarks" / "results" / "cache"
+
+
+def fingerprint(fn: Callable) -> dict:
+    """Identity of a driver function: qualified name + source digest."""
+    name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+    try:
+        src = inspect.getsource(fn)
+    except (OSError, TypeError):
+        code = getattr(fn, "__code__", None)
+        src = code.co_code.hex() if code is not None else repr(fn)
+    return {"fn": name,
+            "src": hashlib.sha256(src.encode()).hexdigest()[:16]}
+
+
+def _canon(obj: Any) -> Any:
+    """Reduce an argument to a canonical JSON-encodable structure."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__qualname__,
+                "fields": {f.name: _canon(getattr(obj, f.name))
+                           for f in dataclasses.fields(obj)}}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(repr(_canon(v)) for v in obj)
+    tobytes = getattr(obj, "tobytes", None)
+    if callable(tobytes):  # numpy arrays / scalars
+        return {"__ndarray__": hashlib.sha256(tobytes()).hexdigest()[:16],
+                "dtype": str(getattr(obj, "dtype", "?")),
+                "shape": list(getattr(obj, "shape", []))}
+    if callable(obj):
+        return fingerprint(obj)
+    return repr(obj)
+
+
+class RunCache:
+    """Disk cache mapping content digests to pickled point results."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------
+    def key_for(self, fn: Callable, args: tuple = (),
+                kwargs: dict | None = None) -> str:
+        """Digest of (package version, driver identity, full arguments)."""
+        blob = json.dumps({
+            "version": __version__,
+            "driver": fingerprint(fn),
+            "args": _canon(list(args)),
+            "kwargs": _canon(kwargs or {}),
+        }, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # -- access --------------------------------------------------------
+    def get(self, key: str) -> Any:
+        """Cached value for ``key`` or ``RunCache.MISS``."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("version") != __version__:
+                self.misses += 1
+                return _MISS
+            self.hits += 1
+            return payload["value"]
+        except (OSError, pickle.PickleError, EOFError, KeyError,
+                AttributeError, ImportError):
+            self.misses += 1
+            return _MISS
+
+    def put(self, key: str, value: Any) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._path(key).with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump({"version": __version__, "value": value}, fh)
+            os.replace(tmp, self._path(key))
+        except (OSError, pickle.PickleError):
+            pass  # caching is best-effort; never fail the benchmark
+
+    def prune_stale(self) -> int:
+        """Delete entries written by other package versions; returns count."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+                stale = payload.get("version") != __version__
+            except Exception:
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def clear(self) -> None:
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # -- stats ---------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+RunCache.MISS = _MISS
+
+
+def cached_run_spmd(program: Callable, nranks: int, *args,
+                    cache: RunCache | None = None, **kwargs):
+    """:func:`repro.runtime.job.run_spmd` with content-addressed caching.
+
+    The key covers the package version, the SPMD program's qualified name
+    and source, ``nranks``, and every config/argument (including the
+    master seed inside ``SimConfig``).  Returns the cached
+    :class:`~repro.config.RunResult` on a hit.
+    """
+    from repro.runtime.job import run_spmd
+
+    if cache is None:
+        cache = RunCache()
+    key = cache.key_for(program, (nranks,) + tuple(args), kwargs)
+    hit = cache.get(key)
+    if hit is not _MISS:
+        return hit
+    result = run_spmd(program, nranks, *args, **kwargs)
+    cache.put(key, result)
+    return result

@@ -51,15 +51,15 @@ def format_series_table(title: str, x_label: str,
     """Merge several series on a shared x axis into one table."""
     xs = sorted({x for s in series for x in s.xs})
     headers = [x_label] + [s.label for s in series]
-    rows = []
-    for x in xs:
-        row: list = [x]
-        for s in series:
-            try:
-                row.append(s.ys[s.xs.index(x)])
-            except ValueError:
-                row.append("")
-        rows.append(row)
+    # One x -> y dict per series (first occurrence wins, matching the old
+    # list.index semantics) instead of an O(len(xs)) scan per cell.
+    maps = []
+    for s in series:
+        m: dict = {}
+        for x, y in zip(s.xs, s.ys):
+            m.setdefault(x, y)
+        maps.append(m)
+    rows = [[x] + [m.get(x, "") for m in maps] for x in xs]
     return format_table(title, headers, rows)
 
 

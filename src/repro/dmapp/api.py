@@ -71,8 +71,7 @@ class DmappEndpoint:
         return self.rank_map.node_of(rank)
 
     def _wire_back(self, target_node: int) -> float:
-        return self.network.params.wire_latency(
-            self.network.hops(target_node, self.node))
+        return self.network.wire(target_node, self.node)
 
     def _track(self, handle: DmappHandle) -> DmappHandle:
         self._horizon = max(self._horizon, handle.remote_complete)

@@ -87,6 +87,11 @@ class Network:
         self.injector = injector
         self._nics: dict[int, Nic] = {}
         self._noise_state = 0x243F6A8885A308D3  # pi digits; deterministic
+        # (src, dst) -> wire_base + per_hop * hops: pure in torus + params,
+        # cached off the per-packet path.
+        self._wire: dict[tuple[int, int], float] = {}
+        self._o_eject_int = int(round(self.params.o_eject))
+        self._has_noise = self.params.noise_ns > 0
 
     def nic(self, node: int) -> Nic:
         nic = self._nics.get(node)
@@ -97,6 +102,16 @@ class Network:
     # -- latency helpers -------------------------------------------------
     def hops(self, src_node: int, dst_node: int) -> int:
         return self.torus.hops(src_node, dst_node)
+
+    def wire(self, src_node: int, dst_node: int) -> float:
+        """Distance-dependent one-way wire latency (memoized)."""
+        key = (src_node, dst_node) if src_node < dst_node \
+            else (dst_node, src_node)
+        w = self._wire.get(key)
+        if w is None:
+            w = self._wire[key] = self.params.wire_latency(
+                self.torus.hops(src_node, dst_node))
+        return w
 
     def _noise(self) -> float:
         """Deterministic pseudo-noise in [0, noise_ns)."""
@@ -168,33 +183,34 @@ class Network:
             else:
                 inject_start, inject_end = self.occupy_injection(
                     src_node, nbytes, gap)
-            pipeline = p.nic_latency
+            wire = self.wire(src_node, dst_node) + p.nic_latency
         else:
             inject_start = inject_end = env.now
-            pipeline = 0.0
-
-        wire = (p.wire_latency(self.hops(src_node, dst_node)) + pipeline
-                + self._noise())
+            wire = self.wire(src_node, dst_node)
+        if self._has_noise:
+            wire += self._noise()
         head_arrival = inject_start + wire
         tail_arrival = inject_end + wire  # last byte on the floor
 
+        nic = self._nics.get(dst_node)
+        if nic is None:
+            nic = self._nics[dst_node] = Nic(env, dst_node)
         if is_amo:
-            chan = self.nic(dst_node).amo_engine
-            svc = p.amo_gap
+            chan = nic.amo_engine
+            svc_int = int(round(p.amo_gap))
         elif nbytes <= p.fma_threshold:
             # Small packets interleave at flit granularity; they serialize
             # only on per-packet processing, never behind bulk transfers.
-            chan = self.nic(dst_node).eject_fma
-            svc = p.o_eject
+            chan = nic.eject_fma
+            svc_int = self._o_eject_int
         else:
-            chan = self.nic(dst_node).eject_bte
-            svc = max(p.o_eject, nbytes * gap)
+            chan = nic.eject_bte
+            svc_int = int(round(max(p.o_eject, nbytes * gap)))
         # Service cannot begin before the head arrives nor finish before
         # the tail does; contention queues behind earlier packets.
         start = max(int(round(head_arrival)), chan.busy_until)
-        chan.busy_until = max(start + int(round(svc)),
-                              int(round(tail_arrival)))
-        chan.total_busy += int(round(svc))
+        chan.busy_until = max(start + svc_int, int(round(tail_arrival)))
+        chan.total_busy += svc_int
         deliver_time = chan.busy_until
         if is_amo:
             deliver_time += int(round(p.amo_service))

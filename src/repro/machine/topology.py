@@ -22,6 +22,10 @@ class Torus3D:
         if any(d < 1 for d in shape):
             raise ValueError(f"bad torus shape {shape}")
         self.shape = shape
+        # Both coords() and hops() are pure functions of the (immutable)
+        # shape and sit on the per-packet hot path; memoize.
+        self._coords: dict[int, tuple[int, int, int]] = {}
+        self._hops: dict[tuple[int, int], int] = {}
 
     @property
     def nnodes(self) -> int:
@@ -30,10 +34,15 @@ class Torus3D:
 
     def coords(self, node: int) -> tuple[int, int, int]:
         """Node id -> (x, y, z), x-major order."""
-        x, y, z = self.shape
-        if not 0 <= node < self.nnodes:
-            raise ValueError(f"node {node} out of range for shape {self.shape}")
-        return (node // (y * z), (node // z) % y, node % z)
+        c = self._coords.get(node)
+        if c is None:
+            x, y, z = self.shape
+            if not 0 <= node < self.nnodes:
+                raise ValueError(
+                    f"node {node} out of range for shape {self.shape}")
+            c = self._coords[node] = (node // (y * z), (node // z) % y,
+                                      node % z)
+        return c
 
     def node_at(self, cx: int, cy: int, cz: int) -> int:
         x, y, z = self.shape
@@ -43,11 +52,15 @@ class Torus3D:
         """Minimal hop count between nodes (per-dimension wraparound)."""
         if a == b:
             return 0
-        total = 0
-        for ca, cb, dim in zip(self.coords(a), self.coords(b), self.shape):
-            d = abs(ca - cb)
-            total += min(d, dim - d)
-        return total
+        key = (a, b) if a < b else (b, a)
+        cached = self._hops.get(key)
+        if cached is None:
+            total = 0
+            for ca, cb, dim in zip(self.coords(a), self.coords(b), self.shape):
+                d = abs(ca - cb)
+                total += min(d, dim - d)
+            cached = self._hops[key] = total
+        return cached
 
     def diameter(self) -> int:
         return sum(d // 2 for d in self.shape)

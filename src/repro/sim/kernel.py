@@ -16,11 +16,34 @@ Design notes
   raised with diagnostics.  The MPI specification forbids cyclically
   waiting configurations (Section 2.5 of the paper); this check is how the
   test suite asserts that the protocols never create them.
+
+Fast-path invariants
+--------------------
+The hot loop in :meth:`Environment.run` is an inlined copy of
+:meth:`Environment.step` with all per-event attribute lookups hoisted into
+locals, the tracer branch removed when no tracer is installed, and the
+watchdog comparison done on plain ints.  ``run(..., fast=False)`` keeps the
+original one-``step()``-per-event loop; both paths pop the same
+``(time, priority, seq)`` heap and allocate sequence numbers identically,
+so **event order, simulated times and all counters are bit-identical**
+between the two -- the test suite asserts this.
+
+``Timeout`` objects fired on the hot path are recycled through a free list:
+a timeout whose only callback was a process resumption (the ubiquitous
+``yield env.timeout(d)`` pattern) is returned to the pool after it fires
+and reused by the next ``env.timeout()`` call.  Recycling only swaps object
+identity, never sequence numbers or values, so it cannot perturb ordering.
+The one rule it imposes: *do not retain a reference to a timeout you have
+already yielded* (re-reading ``t.value`` later, or putting a previously
+yielded timeout inside a composite, is unsupported).  Timeouts waited on
+through ``AllOf``/``AnyOf`` or created-then-yielded-later are never pooled
+-- only the single-waiter resume pattern is.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import DeadlockError, LivelockError, SimulationError
@@ -61,14 +84,13 @@ class Event:
     callbacks then run at the scheduled simulated time.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "name")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "name")
 
     def __init__(self, env: "Environment", name: str = "") -> None:
         self.env = env
         self.callbacks: list[Callable[[Event], None]] | None = []
         self._value: Any = _PENDING
         self._ok = True
-        self._scheduled = False
         self.name = name
 
     # -- state ---------------------------------------------------------
@@ -99,7 +121,11 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=delay, priority=priority)
+        env = self.env
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        env._seq += 1
+        heappush(env._queue, (env._now + int(delay), priority, env._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: int = 0) -> "Event":
@@ -121,7 +147,11 @@ class Event:
 
 
 class Timeout(Event):
-    """Event that fires ``delay`` nanoseconds after creation."""
+    """Event that fires ``delay`` nanoseconds after creation.
+
+    Prefer :meth:`Environment.timeout`, which recycles fired instances
+    through a free list on the hot path.
+    """
 
     __slots__ = ()
 
@@ -144,7 +174,7 @@ class Process(Event):
     * another :class:`Process` -- suspend until that process terminates.
     """
 
-    __slots__ = ("_gen", "_target", "_interrupts")
+    __slots__ = ("_gen", "_target", "_interrupts", "_bound_resume")
 
     def __init__(self, env: "Environment", gen: Generator, name: str = "") -> None:
         if not hasattr(gen, "send"):
@@ -155,13 +185,17 @@ class Process(Event):
         self._gen = gen
         self._target: Event | None = None
         self._interrupts: list[Interrupt] = []
+        # One bound method reused for every suspend/registration; avoids a
+        # method-object allocation per event and lets removal compare by
+        # identity.
+        self._bound_resume = self._resume
         env._nprocesses += 1
         env._live.add(self)
         # Bootstrap: resume the generator at the current instant.
         init = Event(env, name=f"init:{self.name}")
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._bound_resume)
         env.schedule(init, delay=0, priority=NORMAL)
 
     @property
@@ -176,7 +210,7 @@ class Process(Event):
         wake = Event(self.env, name=f"interrupt:{self.name}")
         wake._ok = False
         wake._value = exc
-        wake.callbacks.append(self._resume)
+        wake.callbacks.append(self._bound_resume)
         self.env.schedule(wake, delay=0, priority=URGENT)
 
     # -- engine --------------------------------------------------------
@@ -184,20 +218,24 @@ class Process(Event):
         env = self.env
         # Detach from the event that woke us (it may not be the one that
         # fired if we were interrupted).
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._bound_resume)
             except ValueError:
                 pass
         self._target = None
         env._active = self
-        event: Event | None = trigger
+        gen = self._gen
+        send = gen.send
+        throw = gen.throw
+        event: Event = trigger
         while True:
             try:
                 if event._ok:
-                    out = self._gen.send(event._value)
+                    out = send(event._value)
                 else:
-                    out = self._gen.throw(event._value)
+                    out = throw(event._value)
             except StopIteration as stop:
                 env._active = None
                 env._nprocesses -= 1
@@ -216,14 +254,16 @@ class Process(Event):
                     raise
                 self.fail(exc)
                 return
-            if not isinstance(out, Event):
+            try:
+                cbs = out.callbacks
+            except AttributeError:
                 env._active = None
                 self._gen.throw(SimulationError(
                     f"process {self.name!r} yielded non-event {out!r}"))
                 return  # pragma: no cover
-            if out.callbacks is not None:
+            if cbs is not None:
                 # Not yet processed: register and suspend.
-                out.callbacks.append(self._resume)
+                cbs.append(self._bound_resume)
                 self._target = out
                 env._active = None
                 return
@@ -232,9 +272,15 @@ class Process(Event):
 
 
 class ConditionEvent(Event):
-    """Base for AllOf/AnyOf composite events."""
+    """Base for AllOf/AnyOf composite events.
 
-    __slots__ = ("_events", "_remaining")
+    Once the composite triggers (or fails), its ``_on_fire`` callback is
+    deregistered from every still-pending child so losing children do not
+    keep dead references alive or grow their callback lists across long
+    contention runs.
+    """
+
+    __slots__ = ("_events", "_remaining", "_bound_on_fire")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -243,14 +289,17 @@ class ConditionEvent(Event):
             if ev.env is not env:
                 raise SimulationError("mixing events from different environments")
         self._remaining = 0
+        on_fire = self._bound_on_fire = self._on_fire
         for ev in self._events:
             if ev.callbacks is None:
                 self._check(ev, immediate=True)
             else:
                 self._remaining += 1
-                ev.callbacks.append(self._on_fire)
+                ev.callbacks.append(on_fire)
         if not self.triggered:
             self._finalize_empty()
+        elif self._remaining:
+            self._detach()
 
     def _finalize_empty(self) -> None:
         raise NotImplementedError
@@ -258,14 +307,28 @@ class ConditionEvent(Event):
     def _check(self, ev: Event, immediate: bool = False) -> None:
         raise NotImplementedError
 
+    def _detach(self) -> None:
+        """Deregister from children that have not fired yet."""
+        on_fire = self._bound_on_fire
+        for ev in self._events:
+            cbs = ev.callbacks
+            if cbs is not None:
+                try:
+                    cbs.remove(on_fire)
+                except ValueError:
+                    pass
+
     def _on_fire(self, ev: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not ev._ok:
             self.fail(ev._value)
+            self._detach()
             return
         self._remaining -= 1
         self._check(ev)
+        if self._value is not _PENDING:
+            self._detach()
 
 
 class AllOf(ConditionEvent):
@@ -337,6 +400,8 @@ class Environment:
         self.strict = strict
         self.events_processed = 0
         self.tracer = None  # installed by sim.trace.Tracer when wanted
+        # Free list of fired single-waiter Timeouts (see module docstring).
+        self._timeout_pool: list[Timeout] = []
         # Livelock watchdog state (see class docstring).
         self.progress_marks = 0
         self.watchdog_interval = int(watchdog_interval)
@@ -376,7 +441,25 @@ class Environment:
         return Event(self, name=name)
 
     def timeout(self, delay: int, value: Any = None, priority: int = NORMAL) -> Timeout:
-        return Timeout(self, delay, value=value, priority=priority)
+        """Schedule (possibly recycling) a timeout ``delay`` ns from now."""
+        delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev._ok = True
+            ev._value = value
+        else:
+            ev = Timeout.__new__(Timeout)
+            ev.env = self
+            ev.callbacks = []
+            ev._ok = True
+            ev._value = value
+            ev.name = ""
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, priority, self._seq, ev))
+        return ev
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name=name)
@@ -396,7 +479,11 @@ class Environment:
 
     # -- main loop ---------------------------------------------------------
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event (reference implementation).
+
+        :meth:`run`'s fast path inlines this body; the two must stay in
+        semantic lockstep (``tests/sim`` asserts bit-identical runs).
+        """
         when, _prio, _seq, event = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
@@ -408,11 +495,13 @@ class Environment:
         for cb in callbacks:
             cb(event)
 
-    def run(self, until: Event | int | None = None) -> Any:
+    def run(self, until: Event | int | None = None, *, fast: bool = True) -> Any:
         """Run until ``until`` fires (event), the clock passes ``until``
         (int), or the queue drains.
 
-        Returns the value of ``until`` when it is an event.
+        Returns the value of ``until`` when it is an event.  ``fast=False``
+        selects the legacy one-:meth:`step`-per-event loop (same results,
+        useful for A/B determinism checks and kernel benchmarking).
         """
         stop_event: Event | None = None
         stop_time: int | None = None
@@ -421,6 +510,12 @@ class Environment:
         elif until is not None:
             stop_time = int(until)
 
+        if fast and self.tracer is None:
+            return self._run_fast(stop_event, stop_time)
+        return self._run_step(stop_event, stop_time)
+
+    def _run_step(self, stop_event: Event | None, stop_time: int | None) -> Any:
+        """Legacy loop: one ``step()`` call per event, no timeout pooling."""
         while self._queue:
             if stop_event is not None and stop_event.processed:
                 return stop_event.value if stop_event._ok else None
@@ -434,7 +529,56 @@ class Environment:
             self.step()
             if self.watchdog_interval and self.events_processed >= self._wd_next:
                 self._watchdog_check()
+        return self._drained(stop_event)
 
+    def _run_fast(self, stop_event: Event | None, stop_time: int | None) -> Any:
+        """Hot loop: inlined :meth:`step` with locals bound outside the
+        loop, no tracer branch, int-only watchdog check, and Timeout
+        recycling.  Event order is identical to :meth:`_run_step`."""
+        queue = self._queue
+        pop = heappop
+        nevents = self.events_processed
+        max_events = self.max_events
+        wd_interval = self.watchdog_interval
+        wd_next = self._wd_next if wd_interval else 0
+        tpool = self._timeout_pool
+        timeout_cls = Timeout
+        resume_fn = Process._resume
+        try:
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    return stop_event._value if stop_event._ok else None
+                if stop_time is not None and queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                if nevents >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} "
+                        f"(simulated t={self._now}ns) -- runaway protocol?")
+                when, _prio, _seq, event = pop(queue)
+                self._now = when
+                cbs = event.callbacks
+                event.callbacks = None
+                nevents += 1
+                for cb in cbs:
+                    cb(event)
+                # Recycle the ubiquitous `yield env.timeout(d)` case: a
+                # plain Timeout whose sole consumer was one process resume.
+                if event.__class__ is timeout_cls and len(cbs) == 1 \
+                        and getattr(cbs[0], "__func__", None) is resume_fn:
+                    cbs.clear()
+                    event.callbacks = cbs
+                    tpool.append(event)
+                if wd_interval and nevents >= wd_next:
+                    self.events_processed = nevents
+                    self._watchdog_check()
+                    wd_next = self._wd_next
+        finally:
+            self.events_processed = nevents
+        return self._drained(stop_event)
+
+    def _drained(self, stop_event: Event | None) -> Any:
+        """Queue is empty: report the stop event or diagnose deadlock."""
         if stop_event is not None:
             if stop_event.processed:
                 return stop_event.value if stop_event._ok else None
@@ -446,7 +590,13 @@ class Environment:
         return None
 
     def _watchdog_check(self) -> None:
-        self._wd_next = self.events_processed + self.watchdog_interval
+        # A sampling window must give every live process a chance to make
+        # a mark: at 512+ ranks a few legitimate events per rank already
+        # exceed a fixed 800-event window, so scale with the population
+        # (false livelocks at scale; a real livelock still trips after
+        # `watchdog_stalls` scaled windows with zero marks).
+        self._wd_next = self.events_processed + max(
+            self.watchdog_interval, 8 * self._nprocesses)
         if self.progress_marks != self._wd_marks or self._nprocesses == 0:
             self._wd_marks = self.progress_marks
             self._wd_stale = 0

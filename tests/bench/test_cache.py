@@ -1,0 +1,110 @@
+"""Content-addressed run cache: hits, keying, version invalidation."""
+
+import pytest
+
+import repro.bench.cache as cache_mod
+from repro.bench import microbench as mb
+from repro.bench.cache import RunCache, cache_enabled, cached_run_spmd
+from repro.bench.pool import BenchPoint, last_run_stats, run_points
+from repro.config import MachineConfig, SimConfig
+from repro.runtime.job import run_spmd
+
+
+def test_cache_hit_returns_equal_value(tmp_path):
+    cache = RunCache(tmp_path)
+    cold = run_points([BenchPoint(mb.put_latency, ("fompi", 8)),
+                       BenchPoint(mb.put_latency, ("fompi", 64))],
+                      workers=1, cache=cache)
+    assert last_run_stats().cache_hits == 0
+    warm = run_points([BenchPoint(mb.put_latency, ("fompi", 8)),
+                       BenchPoint(mb.put_latency, ("fompi", 64))],
+                      workers=1, cache=cache)
+    assert warm == cold
+    assert last_run_stats().cache_hits == 2
+    assert last_run_stats().executed == 0
+    assert cache.hit_rate == 0.5  # 2 hits / 4 lookups
+
+
+def test_key_covers_args_kwargs_and_driver(tmp_path):
+    cache = RunCache(tmp_path)
+    base = cache.key_for(mb.put_latency, ("fompi", 8), {})
+    assert cache.key_for(mb.put_latency, ("fompi", 8), {}) == base
+    assert cache.key_for(mb.put_latency, ("fompi", 64), {}) != base
+    assert cache.key_for(mb.put_latency, ("fompi", 8), {"intra": True}) != base
+    assert cache.key_for(mb.get_latency, ("fompi", 8), {}) != base
+
+
+def test_key_covers_config_snapshot_and_seed(tmp_path):
+    cache = RunCache(tmp_path)
+
+    def key(**kw):
+        return cache.key_for(mb.put_latency, ("fompi", 8), kw)
+
+    assert key(machine=MachineConfig(ranks_per_node=1)) \
+        != key(machine=MachineConfig(ranks_per_node=32))
+    assert key(sim=SimConfig(seed=1)) != key(sim=SimConfig(seed=2))
+
+
+def test_version_bump_invalidates(tmp_path, monkeypatch):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(mb.put_latency, ("fompi", 8), {})
+    cache.put(key, 123.0)
+    assert cache.get(key) == 123.0
+
+    monkeypatch.setattr(cache_mod, "__version__", "999.0.0-bumped")
+    stale = RunCache(tmp_path)
+    # Old entry must read as a miss under the bumped version ...
+    assert stale.get(key) is RunCache.MISS
+    # ... and a sweep must transparently recompute and repopulate.
+    out = run_points([BenchPoint(mb.put_latency, ("fompi", 8))],
+                     workers=1, cache=stale)
+    assert out == [mb.put_latency("fompi", 8)]
+    assert stale.prune_stale() >= 1    # the pre-bump entry is pruned
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path)
+    key = cache.key_for(mb.put_latency, ("fompi", 8), {})
+    cache.put(key, 1.0)
+    cache._path(key).write_bytes(b"not a pickle")
+    assert cache.get(key) is RunCache.MISS
+
+
+def test_cache_enabled_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+    assert cache_enabled() is True
+    for off in ("0", "off", "false", "no"):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", off)
+        assert cache_enabled() is False
+
+
+def test_cached_run_spmd_roundtrip(tmp_path):
+    cache = RunCache(tmp_path)
+
+    res1 = cached_run_spmd(mb_program, 2, cache=cache,
+                           machine=MachineConfig(ranks_per_node=1))
+    assert cache.misses >= 1 and cache.hits == 0
+    res2 = cached_run_spmd(mb_program, 2, cache=cache,
+                           machine=MachineConfig(ranks_per_node=1))
+    assert cache.hits == 1
+    assert res2.returns == res1.returns
+    assert res2.sim_time_ns == res1.sim_time_ns
+    assert res2.events_processed == res1.events_processed
+    # and the cached result really equals a fresh serial run
+    fresh = run_spmd(mb_program, 2, machine=MachineConfig(ranks_per_node=1))
+    assert fresh.returns == res2.returns
+    assert fresh.sim_time_ns == res2.sim_time_ns
+
+
+def mb_program(ctx):
+    yield from ctx.coll.barrier()
+    yield from ctx.compute(1_000)
+    yield from ctx.coll.barrier()
+    return ctx.now
+
+
+def test_run_points_cache_false_never_touches_disk(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cachedir"))
+    run_points([BenchPoint(mb.put_latency, ("fompi", 8))],
+               workers=1, cache=False)
+    assert not (tmp_path / "cachedir").exists()
