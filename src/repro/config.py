@@ -96,6 +96,16 @@ class NicStall:
     start_ns: int
     duration_ns: int
 
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"NicStall.node={self.node} is negative")
+        if self.start_ns < 0:
+            raise ValueError(
+                f"NicStall.start_ns={self.start_ns} before t=0")
+        if self.duration_ns < 0:
+            raise ValueError(
+                f"NicStall.duration_ns={self.duration_ns} is negative")
+
     @property
     def end_ns(self) -> int:
         return self.start_ns + self.duration_ns
@@ -108,6 +118,13 @@ class NodeCrash:
 
     node: int
     time_ns: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"NodeCrash.node={self.node} is negative")
+        if self.time_ns < 0:
+            raise ValueError(
+                f"NodeCrash.time_ns={self.time_ns} before t=0")
 
 
 @dataclass(frozen=True)
@@ -149,9 +166,70 @@ class FaultPlan:
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name}={p} outside [0, 1]")
+        if self.delay_ns < 0:
+            raise ValueError(f"delay_ns={self.delay_ns} is negative")
         # Accept lists for convenience; store tuples (hashable, frozen).
         object.__setattr__(self, "stalls", tuple(self.stalls))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        for st in self.stalls:
+            if not isinstance(st, NicStall):
+                raise ValueError(f"stalls entry {st!r} is not a NicStall")
+        for cr in self.crashes:
+            if not isinstance(cr, NodeCrash):
+                raise ValueError(f"crashes entry {cr!r} is not a NodeCrash")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Survivor-side recovery policy for planned node crashes.
+
+    Only consulted when the active :class:`FaultPlan` contains crashes;
+    without crashes none of the recovery machinery is constructed and the
+    fault-free (and crash-free) schedules are untouched.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch for the failure-notification service.  Off, a crash
+        leaves survivors to the transport-level quarantine and the
+        progress watchdog (the PR-1 behaviour).
+    detect_ns:
+        Time from the crash instant until the runtime's failure detector
+        confirms the death and seeds the notification broadcast.
+    notify_round_ns:
+        Per-round cost of the binomial notification broadcast; survivor
+        ``i`` learns of the failure after O(log p) such rounds.
+    revoke_ns:
+        Cost of one revocation step (rolling back one lock-word
+        contribution, splicing one queue node, reclaiming one region).
+    revoke_locks:
+        When True, lock words and MCS queues owned by dead ranks are
+        revoked so surviving waiters can proceed; when False, survivors
+        only receive notifications (pending acquisitions still fail with
+        a structured error instead of livelocking).
+    ack_policy:
+        ``"none"``: revocation starts right after the broadcast completes.
+        ``"collective"``: revocation additionally waits for an O(log p)
+        acknowledgment combine so every survivor is known to have been
+        notified first (safer ordering, slower recovery).
+    """
+
+    enabled: bool = True
+    detect_ns: int = 3_000
+    notify_round_ns: int = 700
+    revoke_ns: int = 900
+    revoke_locks: bool = True
+    ack_policy: str = "none"
+
+    def __post_init__(self) -> None:
+        for name in ("detect_ns", "notify_round_ns", "revoke_ns"):
+            v = getattr(self, name)
+            if v < 0:
+                raise ValueError(f"RecoveryConfig.{name}={v} is negative")
+        if self.ack_policy not in ("none", "collective"):
+            raise ValueError(
+                f"RecoveryConfig.ack_policy={self.ack_policy!r} not in "
+                "('none', 'collective')")
 
 
 @dataclass(frozen=True)
@@ -177,6 +255,9 @@ class FaultConfig:
     retry_jitter_ns:
         Amplitude of the seeded (deterministic) jitter added to each
         backoff step to de-synchronize contending retriers.
+    recovery:
+        Survivor-side recovery policy applied when the plan crashes nodes
+        (:class:`RecoveryConfig`).
     """
 
     plan: FaultPlan | None = None
@@ -185,6 +266,23 @@ class FaultConfig:
     retry_backoff_base_ns: int = 500
     retry_backoff_max_ns: int = 16_000
     retry_jitter_ns: int = 200
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries={self.max_retries} is negative")
+        if self.op_deadline_ns <= 0:
+            raise ValueError(
+                f"op_deadline_ns={self.op_deadline_ns} must be positive")
+        for name in ("retry_backoff_base_ns", "retry_backoff_max_ns",
+                     "retry_jitter_ns"):
+            v = getattr(self, name)
+            if v < 0:
+                raise ValueError(f"{name}={v} is negative")
+        if self.retry_backoff_max_ns < self.retry_backoff_base_ns:
+            raise ValueError(
+                f"retry_backoff_max_ns={self.retry_backoff_max_ns} below "
+                f"retry_backoff_base_ns={self.retry_backoff_base_ns}")
 
     @property
     def active(self) -> bool:

@@ -73,7 +73,20 @@ class RmaError(ReproError):
 
 
 class EpochError(RmaError):
-    """RMA call outside a valid access/exposure epoch, or epoch misuse."""
+    """RMA call outside a valid access/exposure epoch, or epoch misuse.
+
+    When an epoch is aborted because a participating rank's node crashed,
+    ``failed_ranks`` names the dead participants (ULFM-style fault
+    containment: the epoch completes on survivors with this error instead
+    of hanging in the matching list or barrier).
+    """
+
+    def __init__(self, msg: str = "", failed_ranks=()) -> None:
+        self.failed_ranks = tuple(sorted(failed_ranks))
+        if self.failed_ranks:
+            msg = (msg + (": " if msg else "")
+                   + f"failed ranks {list(self.failed_ranks)}")
+        super().__init__(msg)
 
 
 class LockError(RmaError):
@@ -93,7 +106,27 @@ class Mpi1Error(ReproError):
 
 
 class FaultError(ReproError):
-    """Base class for failures caused by injected faults (repro.faults)."""
+    """Base class for failures caused by injected faults (repro.faults).
+
+    ``collective``/``collective_ranks`` are filled in when the error
+    escaped from inside a collective operation, so diagnostics name the
+    collective and its participants rather than just the underlying
+    point-to-point op.
+    """
+
+    collective: str | None = None
+    collective_ranks: tuple = ()
+
+    def annotate_collective(self, name: str, ranks) -> None:
+        """Attach collective context (first/innermost annotation wins)."""
+        if self.collective is not None:
+            return
+        self.collective = name
+        self.collective_ranks = tuple(ranks)
+        if self.args and isinstance(self.args[0], str):
+            self.args = (
+                f"{self.args[0]} [in collective {name!r} over ranks "
+                f"{list(self.collective_ranks)}]",) + self.args[1:]
 
 
 class DeadlineError(FaultError):
@@ -119,6 +152,27 @@ class NodeCrashedError(FaultError):
         self.node = node
         self.crash_time_ns = crash_time_ns
         msg = f"node {node} crashed at t={crash_time_ns}ns"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class RankFailedError(FaultError):
+    """A protocol operation could not complete because peer rank(s) died.
+
+    This is the ULFM-style user-visible notification: the failure service
+    delivers rank-failure knowledge to survivors, and protocol layers
+    (locks, epochs, teardown) raise this structured error for operations
+    that semantically depend on a dead rank -- instead of spinning into a
+    watchdog livelock or decaying into a deadlock report.
+    """
+
+    def __init__(self, failed_ranks, op: str = "", detail: str = "") -> None:
+        self.failed_ranks = tuple(sorted(failed_ranks))
+        self.op = op
+        msg = f"rank(s) {list(self.failed_ranks)} failed"
+        if op:
+            msg += f" during {op}"
         if detail:
             msg += f": {detail}"
         super().__init__(msg)

@@ -62,6 +62,15 @@ class FaultStats:
     amo_replays_suppressed: int = 0
     deadline_failures: int = 0
     crashed_nodes: list = field(default_factory=list)
+    # Survivor-side recovery work (repro.runtime.notify / repro.rma.recovery):
+    failures_detected: int = 0
+    notifications_delivered: int = 0
+    locks_revoked: int = 0
+    queue_splices: int = 0
+    epochs_failed: int = 0
+    acquisitions_failed: int = 0
+    regions_reclaimed: int = 0
+    degraded_frees: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -74,6 +83,16 @@ class FaultStats:
                 "amo_replays_suppressed": self.amo_replays_suppressed,
                 "deadline_failures": self.deadline_failures,
                 "crashed_nodes": list(self.crashed_nodes),
+            },
+            "recovery": {
+                "failures_detected": self.failures_detected,
+                "notifications_delivered": self.notifications_delivered,
+                "locks_revoked": self.locks_revoked,
+                "queue_splices": self.queue_splices,
+                "epochs_failed": self.epochs_failed,
+                "acquisitions_failed": self.acquisitions_failed,
+                "regions_reclaimed": self.regions_reclaimed,
+                "degraded_frees": self.degraded_frees,
             },
         }
 

@@ -13,6 +13,9 @@ round so the simulated total lands on that line.
 
 from __future__ import annotations
 
+from repro.errors import EpochError
+from repro.rma import recovery
+
 __all__ = ["fence"]
 
 
@@ -35,6 +38,17 @@ def fence(win, no_succeed: bool = False):
     rounds = max(1, (p - 1).bit_length()) if p > 1 else 0
     if rounds:
         yield from ctx.compute(win.params.fence_round_overhead * rounds)
-    yield from ctx.coll.barrier()
+    if ctx.notifier is None:
+        yield from ctx.coll.barrier()
+    else:
+        # Fault containment: a crashed participant turns the fence into a
+        # structured EpochError on every survivor (closing the epochs)
+        # instead of a barrier that never completes.
+        try:
+            yield from recovery.guarded_barrier(ctx, "fence")
+        except EpochError:
+            win.epoch_access = None
+            win.epoch_exposure = None
+            raise
     win.epoch_access = None if no_succeed else "fence"
     win.epoch_exposure = None if no_succeed else "fence"

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import LockError
+from repro.errors import LockError, NodeCrashedError
+from repro.rma import recovery
 from repro.rma import window as win_mod
 from repro.rma.enums import LockType
 
@@ -56,6 +57,10 @@ class LockState:
 def _backoff(win, attempt: int):
     """Deterministic exponential back-off (the paper: 'All waits/retries
     can be performed with exponential back off to avoid congestion')."""
+    # With revocation disabled a dead holder will never clear the word --
+    # abandon the retry loop with a structured error instead of spinning
+    # into the watchdog.  (No-op without a failure notifier.)
+    recovery.check_pending_acquire(win)
     win.lock_state.retries += 1
     delay = min(win.params.backoff_base_ns * (1 << min(attempt, 16)),
                 win.params.backoff_max_ns)
@@ -66,6 +71,11 @@ def _amo(win, target: int, idx: int, op: str, operand: int,
          operand2: int = 0, blocking: bool = True):
     """One AMO on ``target``'s control words, CPU or NIC path."""
     ctx = win.ctx
+    if ctx.lock_ledger is not None:
+        # Recovery on: route through the ledger-recording twin so dead
+        # origins' contributions can be rolled back.
+        return (yield from recovery.lock_amo(win, target, idx, op, operand,
+                                             operand2, blocking))
     cells = win.ctrl_refs[target]
     if ctx.same_node(target):
         return (yield from ctx.xpmem.amo(cells, idx, op, operand, operand2))
@@ -86,12 +96,17 @@ def lock(win, target: int, lock_type: LockType = LockType.SHARED):
     if target in st.held:
         raise LockError(f"target {target} already locked")
     win.ctx.note_api(f"win.lock(target={target}, {lock_type.name.lower()})")
+    recovery.check_peer_alive(win, target,
+                              f"lock({lock_type.name.lower()})")
     yield from win.ctx.instr(win.params.instr_lock)
 
-    if lock_type is LockType.SHARED:
-        yield from _lock_shared(win, target)
-    else:
-        yield from _lock_exclusive(win, target)
+    try:
+        if lock_type is LockType.SHARED:
+            yield from _lock_shared(win, target)
+        else:
+            yield from _lock_exclusive(win, target)
+    except NodeCrashedError as exc:
+        recovery.fail_acquire(win.ctx, exc, f"lock(target={target})")
     st.held[target] = lock_type
     win.epoch_access = "lock"
     # Acquisition is forward progress; the retry loops above are not --
@@ -128,8 +143,17 @@ def _lock_exclusive(win, target: int):
             # Invariant (1): register at the master; back off on lock_all.
             yield from _acquire_global_writer(win)
         # Invariant (2): CAS the target's local word 0 -> WRITER.
-        old = yield from _amo(win, target, win_mod.IDX_LOCAL_LOCK, "cas",
-                              0, WRITER_BIT)
+        try:
+            old = yield from _amo(win, target, win_mod.IDX_LOCAL_LOCK,
+                                  "cas", 0, WRITER_BIT)
+        except NodeCrashedError:
+            # The target died after we registered at the master: undo the
+            # registration before failing, or the survivors' lock_all
+            # would wait on a phantom exclusive holder.
+            if st.exclusive_count == 0:
+                yield from _amo(win, win.master, win_mod.IDX_GLOBAL_LOCK,
+                                "add", -1, blocking=False)
+            raise
         if old == 0:
             st.exclusive_count += 1
             return
@@ -155,6 +179,16 @@ def _acquire_global_writer(win):
         attempt += 1
 
 
+def _forgiving_add(win, target: int, idx: int, delta: int):
+    """Fire-and-forget lock-word decrement that tolerates a dead home
+    rank: the word died with its owner, so there is nothing to release."""
+    try:
+        yield from _amo(win, target, idx, "add", delta, blocking=False)
+    except NodeCrashedError:
+        if win.ctx.notifier is None:
+            raise
+
+
 def unlock(win, target: int):
     """MPI_Win_unlock: completes all operations to ``target`` first
     (gsync is free when nothing is outstanding -- the measured 0.4 us)."""
@@ -167,15 +201,14 @@ def unlock(win, target: int):
     yield from ctx.xpmem.mfence()
     yield from ctx.dmapp.gsync()
     if lt is LockType.SHARED:
-        yield from _amo(win, target, win_mod.IDX_LOCAL_LOCK, "add", -1,
-                        blocking=False)
+        yield from _forgiving_add(win, target, win_mod.IDX_LOCAL_LOCK, -1)
     else:
-        yield from _amo(win, target, win_mod.IDX_LOCAL_LOCK, "add",
-                        -WRITER_BIT, blocking=False)
+        yield from _forgiving_add(win, target, win_mod.IDX_LOCAL_LOCK,
+                                  -WRITER_BIT)
         st.exclusive_count -= 1
         if st.exclusive_count == 0:
-            yield from _amo(win, win.master, win_mod.IDX_GLOBAL_LOCK,
-                            "add", -1, blocking=False)
+            yield from _forgiving_add(win, win.master,
+                                      win_mod.IDX_GLOBAL_LOCK, -1)
     del st.held[target]
     if not st.held:
         win.epoch_access = None
@@ -193,15 +226,18 @@ def lock_all(win):
     win.ctx.note_api("win.lock_all()")
     yield from win.ctx.instr(win.params.instr_lock)
     attempt = 0
-    while True:
-        old = yield from _amo(win, win.master, win_mod.IDX_GLOBAL_LOCK,
-                              "add", GLOBAL_SHARED_UNIT)
-        if (old & _EXCL_MASK) == 0:  # no exclusive holders
-            break
-        yield from _amo(win, win.master, win_mod.IDX_GLOBAL_LOCK, "add",
-                        -GLOBAL_SHARED_UNIT, blocking=False)
-        yield from _backoff(win, attempt)
-        attempt += 1
+    try:
+        while True:
+            old = yield from _amo(win, win.master, win_mod.IDX_GLOBAL_LOCK,
+                                  "add", GLOBAL_SHARED_UNIT)
+            if (old & _EXCL_MASK) == 0:  # no exclusive holders
+                break
+            yield from _amo(win, win.master, win_mod.IDX_GLOBAL_LOCK, "add",
+                            -GLOBAL_SHARED_UNIT, blocking=False)
+            yield from _backoff(win, attempt)
+            attempt += 1
+    except NodeCrashedError as exc:
+        recovery.fail_acquire(win.ctx, exc, "lock_all")
     st.lock_all_held = True
     win.epoch_access = "lock_all"
     win.ctx.env.note_progress()
@@ -214,8 +250,8 @@ def unlock_all(win):
     ctx = win.ctx
     yield from ctx.xpmem.mfence()
     yield from ctx.dmapp.gsync()
-    yield from _amo(win, win.master, win_mod.IDX_GLOBAL_LOCK, "add",
-                    -GLOBAL_SHARED_UNIT, blocking=False)
+    yield from _forgiving_add(win, win.master, win_mod.IDX_GLOBAL_LOCK,
+                              -GLOBAL_SHARED_UNIT)
     st.lock_all_held = False
     win.epoch_access = None
     win.ctx.env.note_progress()

@@ -49,6 +49,18 @@ class McsLock:
                      if cell_base is None else cell_base)
         self.holding = False
         self.remote_ops = 0  # for the boundedness tests
+        # Recovery bookkeeping, written at AMO *delivery* time by the
+        # guarded paths so it reflects what actually took effect remotely,
+        # never this rank's possibly-stale view (repro.rma.recovery).
+        self._queued = False      # swap delivered at the master
+        self._pred = 0            # predecessor id (rank+1) the swap saw
+        self._published = False   # next-pointer publication delivered
+        self._token = False       # token held (acquired, or handed to us)
+        self._handed = False      # hand-off to the successor delivered
+        ctx = win.ctx
+        if ctx.notifier is not None:
+            ctx.world.blackboard.setdefault(
+                ("mcs", win.win_id, self.base), {})[ctx.rank] = self
 
     def _cells(self, rank: int):
         return self.win.ctrl_refs[rank]
@@ -66,6 +78,28 @@ class McsLock:
         yield from ctx.dmapp.amo_nbi(target, cells, self.base + idx, op, a, b)
         return None
 
+    def _amo_custom(self, target: int, mutate):
+        """Blocking delivery-time mutate at ``target`` (recovery path)."""
+        ctx = self.win.ctx
+        self.remote_ops += 1
+        if ctx.same_node(target):
+            return (yield from ctx.xpmem.amo_custom(mutate))
+        handle = yield from ctx.dmapp.amo_custom_nbi(target, mutate)
+        return (yield from ctx.dmapp.wait(handle))
+
+    def _amo_custom_to_peer(self, target: int, mutate):
+        """Like :meth:`_amo_custom` but tolerant of a dead peer: the
+        mutation is applied directly to the shared cells (they outlive the
+        simulated process) so queue links stay consistent even when the
+        peer's NIC is quarantined."""
+        ctx = self.win.ctx
+        from repro.errors import NodeCrashedError
+        try:
+            yield from self._amo_custom(target, mutate)
+        except NodeCrashedError:
+            yield from ctx.instr(self.win.params.instr_lock)
+            mutate()
+
     # ------------------------------------------------------------------
     def acquire(self):
         """Enqueue and wait; O(1) remote AMOs regardless of contention."""
@@ -73,6 +107,9 @@ class McsLock:
             raise LockError("MCS lock is not reentrant")
         win = self.win
         ctx = win.ctx
+        if ctx.notifier is not None:
+            yield from self._acquire_guarded()
+            return
         me = ctx.rank + 1
         my = self._cells(ctx.rank)
         my.store(self.base + IDX_NEXT, 0)
@@ -93,6 +130,9 @@ class McsLock:
             raise LockError("releasing an MCS lock not held")
         win = self.win
         ctx = win.ctx
+        if ctx.notifier is not None:
+            yield from self._release_guarded()
+            return
         me = ctx.rank + 1
         my = self._cells(ctx.rank)
         if my.load(self.base + IDX_NEXT) == 0:
@@ -106,4 +146,141 @@ class McsLock:
         succ = int(my.load(self.base + IDX_NEXT)) - 1
         my.store(self.base + IDX_NEXT, 0)
         yield from self._amo(succ, IDX_FLAG, "replace", 1, blocking=False)
+        self.holding = False
+
+    # ------------------------------------------------------------------
+    # failure-aware paths (identical wire protocol; the queue membership
+    # flags are recorded atomically with each AMO's remote effect so the
+    # recovery service knows exactly where a dead rank stood)
+    # ------------------------------------------------------------------
+    def _acquire_guarded(self):
+        from repro.errors import NodeCrashedError
+        from repro.rma import recovery
+
+        win = self.win
+        ctx = win.ctx
+        me = ctx.rank + 1
+        my = self._cells(ctx.rank)
+        tail_cells = self._cells(win.master)
+        my.store(self.base + IDX_NEXT, 0)
+        my.store(self.base + IDX_FLAG, 0)
+        self._queued = False
+        self._pred = 0
+        self._published = False
+        self._token = False
+        self._handed = False
+
+        def swap_mutate():
+            old = tail_cells.apply(self.base + IDX_TAIL, "replace", me)
+            self._queued = True
+            self._pred = int(old)
+            if old == 0:
+                self._token = True  # empty queue: token is ours on arrival
+            return old
+
+        try:
+            pred = yield from self._amo_custom(win.master, swap_mutate)
+        except NodeCrashedError as exc:
+            recovery.fail_acquire(ctx, exc, "mcs acquire")
+        if pred != 0:
+            target = int(pred) - 1
+
+            def publish_mutate():
+                self._cells(target).apply(self.base + IDX_NEXT,
+                                          "replace", me)
+                self._published = True
+
+            # The predecessor may be dead (or die mid-publication); the
+            # queue link must be written regardless -- its zombie
+            # forwarder reads it to hand the token onward.
+            yield from self._amo_custom_to_peer(target, publish_mutate)
+            if ctx.lock_ledger is not None:
+                # Revocation on: a dead predecessor's token is forwarded
+                # by its zombie, so the plain local spin terminates.
+                yield my.wait_until(self.base + IDX_FLAG, lambda v: v != 0)
+            else:
+                # Revocation off: a dead predecessor never hands off --
+                # race the spin against the failure notification.
+                from repro.sim.kernel import AnyOf
+                notifier = ctx.notifier
+                while my.load(self.base + IDX_FLAG) == 0:
+                    known = notifier.known(ctx.rank)
+                    if known:
+                        ctx.world.injector.stats.acquisitions_failed += 1
+                        from repro.errors import RankFailedError
+                        raise RankFailedError(
+                            known, op="mcs acquire",
+                            detail="lock revocation disabled; predecessor "
+                                   "may never hand off")
+                    yield AnyOf(ctx.env, [
+                        my.wait_until(self.base + IDX_FLAG,
+                                      lambda v: v != 0),
+                        notifier.failure_event(ctx.rank)])
+            my.store(self.base + IDX_FLAG, 0)
+        self._token = True
+        self.holding = True
+
+    def _release_guarded(self):
+        from repro.errors import NodeCrashedError
+
+        win = self.win
+        ctx = win.ctx
+        me = ctx.rank + 1
+        my = self._cells(ctx.rank)
+        tail_cells = self._cells(win.master)
+        if my.load(self.base + IDX_NEXT) == 0:
+
+            def cas_mutate():
+                old = tail_cells.cas(self.base + IDX_TAIL, me, 0)
+                if old == me:
+                    self._queued = False
+                    self._token = False
+                return old
+
+            try:
+                old = yield from self._amo_custom(win.master, cas_mutate)
+            except NodeCrashedError:
+                # The master died: the queue is gone with it.  Clear local
+                # state; no survivor can be waiting on this lock's words.
+                self._queued = False
+                self._token = False
+                self.holding = False
+                return
+            if old == me:
+                self.holding = False
+                return
+            if ctx.lock_ledger is not None:
+                # A dead mid-enqueue successor's publication is finished
+                # by its zombie forwarder, so this spin terminates.
+                yield my.wait_until(self.base + IDX_NEXT, lambda v: v != 0)
+            else:
+                from repro.errors import RankFailedError
+                from repro.sim.kernel import AnyOf
+                notifier = ctx.notifier
+                while my.load(self.base + IDX_NEXT) == 0:
+                    known = notifier.known(ctx.rank)
+                    if known:
+                        ctx.world.injector.stats.acquisitions_failed += 1
+                        self.holding = False
+                        raise RankFailedError(
+                            known, op="mcs release",
+                            detail="lock revocation disabled; successor "
+                                   "died mid-enqueue")
+                    yield AnyOf(ctx.env, [
+                        my.wait_until(self.base + IDX_NEXT,
+                                      lambda v: v != 0),
+                        notifier.failure_event(ctx.rank)])
+        succ = int(my.load(self.base + IDX_NEXT)) - 1
+
+        def hand_mutate():
+            self._cells(succ).apply(self.base + IDX_FLAG, "replace", 1)
+            self._handed = True
+            self._queued = False
+            self._token = False
+
+        # NEXT is cleared only *after* the hand-off is issued: if this
+        # rank dies in between, its zombie forwarder still needs the
+        # successor link to finish the hand-off.
+        yield from self._amo_custom_to_peer(succ, hand_mutate)
+        my.store(self.base + IDX_NEXT, 0)
         self.holding = False

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import EpochError, RmaError
+from repro.errors import EpochError, NodeCrashedError, RmaError
 from repro.rma import window as win_mod
+from repro.sim.kernel import AnyOf
 
 __all__ = ["PscwState", "post", "start", "complete", "wait"]
 
@@ -69,10 +70,16 @@ def post(win, group):
         raise EpochError("a rank cannot post to itself")
     ctx = win.ctx
     ctx.note_api(f"win.post(group={sorted(group)})")
+    notifier = ctx.notifier
+    dead: set = set()
+    if notifier is not None:
+        dead = set(group) & notifier.known(win.rank)
     # Prior local stores must be visible before peers may access.
     yield from ctx.xpmem.mfence()
     cap = win.params.pscw_ring_capacity
     for j in group:
+        if j in dead:
+            continue
         ctrl_j = win.ctrl_refs[j]
         mutate = _append_entry(ctrl_j, cap, win.rank)
         if ctx.same_node(j):
@@ -80,11 +87,22 @@ def post(win, group):
                 win.params.instr_lock)  # CPU atomic append
             mutate()
         else:
-            yield from ctx.dmapp.amo_custom_nbi(j, mutate)
-    st.exposure_group = set(group)
+            try:
+                yield from ctx.dmapp.amo_custom_nbi(j, mutate)
+            except NodeCrashedError as exc:
+                if notifier is None:
+                    raise
+                dead.update(r for r in group
+                            if ctx.node_of(r) == exc.node)
+    # Fault containment: the epoch opens for the surviving peers, and the
+    # dead ones are reported in a structured error.
+    st.exposure_group = set(group) - dead
     st.epochs_posted += 1
     win.epoch_exposure = "pscw"
     ctx.env.note_progress()
+    if dead:
+        ctx.world.injector.stats.epochs_failed += 1
+        raise EpochError("post(): access peers failed", failed_ranks=dead)
 
 
 def start(win, group):
@@ -101,6 +119,7 @@ def start(win, group):
     cap = win.params.pscw_ring_capacity
     ctrl = win.ctrl
     needed = set(group)
+    notifier = ctx.notifier
     while needed:
         # Scan the matching list, consume entries for ranks we wait on.
         for s in range(cap):
@@ -110,9 +129,23 @@ def start(win, group):
                 needed.discard(v - 1)
                 ctrl.store(idx, 0)  # free the slot
         if needed:
+            if notifier is not None:
+                dead = needed & notifier.known(win.rank)
+                if dead:
+                    # Their posts can never arrive: fail the epoch on the
+                    # survivor instead of blocking in the matching list.
+                    ctx.world.injector.stats.epochs_failed += 1
+                    raise EpochError(
+                        "start(): exposure peers failed before posting",
+                        failed_ranks=dead)
             version = ctrl.load(win_mod.IDX_PSCW_VERSION)
-            yield ctrl.wait_until(win_mod.IDX_PSCW_VERSION,
-                                  lambda v, _v0=version: v != _v0)
+            wait_ev = ctrl.wait_until(win_mod.IDX_PSCW_VERSION,
+                                      lambda v, _v0=version: v != _v0)
+            if notifier is None:
+                yield wait_ev
+            else:
+                yield AnyOf(ctx.env, [wait_ev,
+                                      notifier.failure_event(win.rank)])
     st.access_group = set(group)
     st.epochs_started += 1
     win.epoch_access = "pscw"
@@ -130,16 +163,34 @@ def complete(win):
     yield from ctx.xpmem.mfence()
     yield from ctx.dmapp.gsync()
     # ... then notify each exposure peer's completion counter.
+    notifier = ctx.notifier
+    dead: set = set()
     for j in sorted(st.access_group):
+        if notifier is not None and notifier.rank_failed(win.rank, j):
+            dead.add(j)
+            continue
         if ctx.same_node(j):
             yield from ctx.instr(win.params.instr_lock)
             win.ctrl_refs[j].fadd(win_mod.IDX_PSCW_DONE, 1)
         else:
-            yield from ctx.dmapp.amo_nbi(j, win.ctrl_refs[j],
-                                         win_mod.IDX_PSCW_DONE, "add", 1)
+            try:
+                yield from ctx.dmapp.amo_nbi(j, win.ctrl_refs[j],
+                                             win_mod.IDX_PSCW_DONE,
+                                             "add", 1)
+            except NodeCrashedError as exc:
+                if notifier is None:
+                    raise
+                dead.update(r for r in st.access_group
+                            if ctx.node_of(r) == exc.node)
     st.access_group = set()
     win.epoch_access = None
     ctx.env.note_progress()
+    if dead:
+        # The epoch is closed on this survivor; the dead exposure peers
+        # are reported (they will never see the completion counter).
+        ctx.world.injector.stats.epochs_failed += 1
+        raise EpochError("complete(): exposure peers failed",
+                         failed_ranks=dead)
 
 
 def wait(win):
@@ -151,10 +202,31 @@ def wait(win):
     ctx.note_api("win.wait()")
     expected = len(st.exposure_group)
     yield from ctx.compute(win.params.pscw_wait_overhead)
-    if expected:
+    notifier = ctx.notifier
+    if expected and notifier is None:
         yield win.ctrl.wait_until(win_mod.IDX_PSCW_DONE,
                                   lambda v: v >= expected)
         win.ctrl.fadd(win_mod.IDX_PSCW_DONE, -expected)
+    elif expected:
+        # Check the counter FIRST: a complete() that landed before its
+        # origin died still counts (the op took effect; only the rank is
+        # gone), so a satisfied epoch never turns into an error.
+        while True:
+            if win.ctrl.load(win_mod.IDX_PSCW_DONE) >= expected:
+                win.ctrl.fadd(win_mod.IDX_PSCW_DONE, -expected)
+                break
+            dead = st.exposure_group & notifier.known(win.rank)
+            if dead:
+                st.exposure_group = set()
+                win.epoch_exposure = None
+                ctx.world.injector.stats.epochs_failed += 1
+                raise EpochError(
+                    "wait(): access peers failed before complete()",
+                    failed_ranks=dead)
+            yield AnyOf(ctx.env, [
+                win.ctrl.wait_until(win_mod.IDX_PSCW_DONE,
+                                    lambda v: v >= expected),
+                notifier.failure_event(win.rank)])
     st.exposure_group = set()
     win.epoch_exposure = None
     ctx.env.note_progress()

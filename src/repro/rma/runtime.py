@@ -64,6 +64,10 @@ class RmaContext:
         bb = self.ctx.world.blackboard
         key = ("winctrl", win.win_id)
         bb.setdefault(key, {})[self.ctx.rank] = win.ctrl
+        if self.ctx.notifier is not None:
+            # Recovery needs the window objects themselves (heap segment,
+            # freed flag) to tear down dead ranks' windows.
+            bb.setdefault(("winobjs", win.win_id), {})[self.ctx.rank] = win
         xkey = ("winxpmem", win.win_id)
         if win.seg is not None:
             bb.setdefault(xkey, {})[self.ctx.rank] = \
@@ -195,6 +199,8 @@ class RmaContext:
         win.ctrl = self._make_ctrl(win)
         bbc = bb.setdefault(("winctrl", win.win_id), {})
         bbc[ctx.rank] = win.ctrl
+        if ctx.notifier is not None:
+            bb.setdefault(("winobjs", win.win_id), {})[ctx.rank] = win
         yield from ctx.coll.barrier()
         win.ctrl_refs = bbc
         self.windows.append(win)

@@ -416,11 +416,21 @@ class Window:
 
     # ------------------------------------------------------------------
     def free(self):
-        """Collective window destruction."""
+        """Collective window destruction.
+
+        With a failure notifier installed the closing barrier tolerates
+        dead participants: the free degrades to a local teardown (counted
+        in ``stats.recovery.degraded_frees``) instead of hanging on a
+        collective that can never complete.
+        """
         self._check_alive()
         if self.lock_state.held or self.lock_state.lock_all_held:
             raise RmaError("freeing a window while holding locks")
-        yield from self.ctx.coll.barrier()
+        if self.ctx.notifier is None:
+            yield from self.ctx.coll.barrier()
+        else:
+            from repro.rma import recovery
+            yield from recovery.guarded_free(self)
         self.freed = True
 
     # -- convenience -----------------------------------------------------

@@ -20,17 +20,34 @@ Each call draws a fresh tag from a per-rank counter; MPI's ordering rules
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable
 
 import numpy as np
 
-from repro.errors import Mpi1Error
+from repro.errors import FaultError, Mpi1Error
 
 __all__ = ["Collectives", "IBarrier"]
 
 
 def _ceil_log2(p: int) -> int:
     return max(1, (p - 1).bit_length()) if p > 1 else 0
+
+
+def _collective(fn):
+    """Fault-context wrapper: a :class:`FaultError` escaping a collective
+    (a crashed or unreachable peer hit mid-algorithm) is annotated with
+    the collective's name and participant set, so diagnostics name the
+    operation rather than just the underlying point-to-point send."""
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return (yield from fn(self, *args, **kwargs))
+        except FaultError as exc:
+            exc.annotate_collective(fn.__name__,
+                                    tuple(range(self.ctx.nranks)))
+            raise
+    return wrapper
 
 
 class IBarrier:
@@ -43,13 +60,17 @@ class IBarrier:
     def _run(self, tag: int):
         ctx = self.ctx
         p, r = ctx.nranks, ctx.rank
-        for step in range(_ceil_log2(p)):
-            dst = (r + (1 << step)) % p
-            src = (r - (1 << step)) % p
-            sreq = yield from ctx.mpi.isend(dst, None, tag=tag + step,
-                                            channel="nbx", nbytes=0)
-            yield from ctx.mpi.recv(src, tag=tag + step, channel="nbx")
-            yield from sreq.wait()
+        try:
+            for step in range(_ceil_log2(p)):
+                dst = (r + (1 << step)) % p
+                src = (r - (1 << step)) % p
+                sreq = yield from ctx.mpi.isend(dst, None, tag=tag + step,
+                                                channel="nbx", nbytes=0)
+                yield from ctx.mpi.recv(src, tag=tag + step, channel="nbx")
+                yield from sreq.wait()
+        except FaultError as exc:
+            exc.annotate_collective("ibarrier", tuple(range(p)))
+            raise
 
     def test(self) -> bool:
         return self._proc.triggered
@@ -74,6 +95,7 @@ class Collectives:
         return t
 
     # ------------------------------------------------------------------
+    @_collective
     def barrier(self):
         """Dissemination barrier: ceil(log2 p) rounds."""
         ctx = self.ctx
@@ -94,6 +116,7 @@ class Collectives:
         return IBarrier(self.ctx, tag)
 
     # ------------------------------------------------------------------
+    @_collective
     def bcast(self, value: Any, root: int = 0, nbytes: int | None = None):
         """Binomial-tree broadcast; returns the root's value on every rank."""
         ctx = self.ctx
@@ -117,6 +140,7 @@ class Collectives:
         return value
 
     # ------------------------------------------------------------------
+    @_collective
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None,
                   nbytes: int | None = None):
         """Recursive-doubling allreduce.
@@ -169,6 +193,7 @@ class Collectives:
         return acc
 
     # ------------------------------------------------------------------
+    @_collective
     def allgather(self, value: Any, nbytes: int | None = None):
         """Allgather; returns a list indexed by rank."""
         ctx = self.ctx
@@ -210,6 +235,7 @@ class Collectives:
         return out
 
     # ------------------------------------------------------------------
+    @_collective
     def reduce_scatter_block(self, vector, op: Callable | None = None):
         """Reduce a length-p vector across ranks; rank i gets element i.
 
@@ -252,6 +278,7 @@ class Collectives:
         return total[r]
 
     # ------------------------------------------------------------------
+    @_collective
     def alltoall(self, per_dest: list, nbytes_each: int | None = None):
         """Personalized all-to-all (pairwise exchange); returns list by src."""
         ctx = self.ctx

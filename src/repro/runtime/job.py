@@ -123,6 +123,8 @@ def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
     inj = world.injector
     if inj is not None and inj.has_crashes:
         world.env.process(_crash_reaper(world, procs), name="crash-reaper")
+    if world.notifier is not None:
+        world.notifier.start()
     world.env.run()
 
     returns = []

@@ -50,6 +50,10 @@ class RankContext:
         self.mpi = Mpi1Endpoint(world.env, rank, world.network,
                                 world.rank_map, world.mpi1, world.xpmem,
                                 world.mpi_registry)
+        # Recovery services (both None on fault-free runs: the single
+        # ``is None`` gate every protocol-layer recovery hook tests).
+        self.notifier = world.notifier
+        self.lock_ledger = world.lock_ledger
         self._coll = None
         self._rma = None
         self._upc = None

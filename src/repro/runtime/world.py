@@ -71,6 +71,21 @@ class World:
         # Cross-rank rendezvous spots used by collective protocols
         # (window-creation exchanges etc.); keyed by (kind, instance).
         self.blackboard: dict = {}
+        # Survivor-side recovery: a failure-notification service plus the
+        # lock-revocation ledger, constructed only for runs with planned
+        # crashes and recovery enabled (same zero-cost-when-off contract
+        # as the injector).
+        self.notifier = None
+        self.lock_ledger = None
+        if (self.injector is not None and self.injector.has_crashes
+                and self.faults.recovery.enabled):
+            from repro.rma import recovery
+            from repro.runtime.notify import FailureNotifier
+
+            self.notifier = FailureNotifier(self)
+            if self.faults.recovery.revoke_locks:
+                self.lock_ledger = recovery.RevocationLedger()
+            recovery.install(self)
 
     def rng(self, purpose: str, rank: int = 0):
         """Deterministic random stream for (purpose, rank)."""

@@ -202,11 +202,18 @@ class Process(Event):
     def is_alive(self) -> bool:
         return self._value is _PENDING
 
-    def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+    def interrupt(self, cause: Any = None, *,
+                  exception: BaseException | None = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        ``exception`` overrides the default wrapping: the given exception
+        instance is thrown as-is (used by the recovery layer to terminate
+        helper processes with a structured protocol error instead of an
+        :class:`Interrupt` that callers would have to re-map).
+        """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead {self!r}")
-        exc = Interrupt(cause)
+        exc: BaseException = exception if exception is not None else Interrupt(cause)
         wake = Event(self.env, name=f"interrupt:{self.name}")
         wake._ok = False
         wake._value = exc

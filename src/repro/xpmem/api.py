@@ -99,6 +99,16 @@ class XpmemEndpoint:
             return cells.cas(idx, operand, operand2)
         return cells.apply(idx, op, operand)
 
+    def amo_custom(self, mutate):
+        """CPU atomic with a caller-supplied read-modify-write.  Like the
+        NIC-side ``amo_custom_nbi``, the closure runs atomically at its
+        effect time, so bookkeeping chained into ``mutate`` (the recovery
+        ledger) can never observe a half-applied op."""
+        yield self.env.timeout(int(round(self.params.amo_latency)))
+        if self.counters is not None:
+            self.counters.count_issue(self.rank, "cpu-amo:custom", 8)
+        return mutate()
+
     def amo_stream(self, cells: AtomicArray, base_idx: int, op: str,
                    operands, fetch: bool = False):
         """Element-wise CPU atomics over consecutive cells."""
