@@ -1,0 +1,18 @@
+"""CLI wrapper for the perf-regression gate.
+
+Usage (what the CI perf-smoke job runs)::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py \
+        --baseline benchmarks/baseline_simperf.json \
+        --current BENCH_simperf.json
+
+All logic lives in :mod:`repro.bench.perfgate` so it is importable and
+unit-tested; this file only forwards argv.
+"""
+
+import sys
+
+from repro.bench.perfgate import main
+
+if __name__ == "__main__":
+    sys.exit(main())

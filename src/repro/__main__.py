@@ -8,6 +8,11 @@ Commands
 ``models``          print the paper's performance-model catalog
 ``calibrate``       fit the simulated put/get/atomics series against the
                     paper's measured functions and report errors
+``trace <wl>``      run a named workload (putget, locks, fence, pscw)
+                    under observability and write a Chrome trace-event
+                    JSON file (open in Perfetto / chrome://tracing)
+``report [wl]``     run a named workload and print the plain-text run
+                    report (span aggregates, counters, histograms, links)
 """
 
 from __future__ import annotations
@@ -133,8 +138,21 @@ def main(argv=None) -> int:
     f.add_argument("id")
     f.add_argument("--full", action="store_true",
                    help="larger sweeps (slower)")
+    f.add_argument("--trace", metavar="PATH", default=None,
+                   help="re-run the figure under observability and write "
+                        "a Chrome trace of its slowest simulated point")
     sub.add_parser("models")
     sub.add_parser("calibrate")
+    t = sub.add_parser("trace")
+    t.add_argument("workload")
+    t.add_argument("--ranks", type=int, default=4)
+    t.add_argument("--seed", type=int, default=None)
+    t.add_argument("--out", default=None,
+                   help="output path (default trace_<workload>.json)")
+    r = sub.add_parser("report")
+    r.add_argument("workload", nargs="?", default="putget")
+    r.add_argument("--ranks", type=int, default=4)
+    r.add_argument("--seed", type=int, default=None)
     args = ap.parse_args(argv)
 
     if args.cmd == "demo":
@@ -166,6 +184,20 @@ def main(argv=None) -> int:
         print(format_series_table(title, "x", series))
         print()
         print(ascii_chart(title, series))
+        if args.trace:
+            from repro.bench.harness import slowest_point, trace_point
+
+            worst = slowest_point(series)
+            path = trace_point(
+                lambda: _figure(args.id, fast=not args.full),
+                args.trace, label=f"figure {args.id}")
+            if path is None:
+                print("no simulation captured (all points cached?)")
+            else:
+                if worst is not None:
+                    print(f"slowest point: {worst[0]} at x={worst[1]} "
+                          f"(y={worst[2]:.3g})")
+                print(f"wrote {path} (load it in https://ui.perfetto.dev)")
     elif args.cmd == "models":
         from repro.models.params_fompi import PAPER_MODELS
 
@@ -184,6 +216,25 @@ def main(argv=None) -> int:
                   f"(paper {slope} ns/B + {base / 1e3:.2f} us; "
                   f"err {100 * relative_error(a, base):.1f}% / "
                   f"{100 * relative_error(b, slope):.1f}%)")
+    elif args.cmd == "trace":
+        from repro.obs import run_workload, write_chrome_trace
+
+        res, obs = run_workload(args.workload, nranks=args.ranks,
+                                seed=args.seed)
+        path = args.out or f"trace_{args.workload}.json"
+        write_chrome_trace(path, obs, label=args.workload)
+        print(f"simulated {res.sim_time_ns / 1e3:.1f} us, "
+              f"{res.events_processed} events, {len(obs.spans)} spans")
+        print(f"wrote {path} (load it in https://ui.perfetto.dev)")
+    elif args.cmd == "report":
+        from repro.obs import render_report, run_workload
+
+        res, obs = run_workload(args.workload, nranks=args.ranks,
+                                seed=args.seed)
+        print(render_report(
+            obs, title=f"{args.workload} ({args.ranks} ranks)",
+            sim_time_ns=res.sim_time_ns,
+            events_processed=res.events_processed))
     return 0
 
 

@@ -5,7 +5,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["Series", "format_table", "format_series_table", "geomean"]
+__all__ = ["Series", "format_table", "format_series_table", "geomean",
+           "slowest_point", "trace_point"]
 
 
 @dataclass
@@ -24,6 +25,45 @@ class Series:
     def as_dict(self) -> dict:
         return {"label": self.label, "xs": list(self.xs), "ys": list(self.ys),
                 **self.meta}
+
+
+def slowest_point(series: list[Series]) -> tuple[str, object, float] | None:
+    """The (label, x, y) of the largest y across all series.
+
+    Figure drivers use this to pick which point of a sweep deserves a
+    trace: y is a latency/time in every sweep where tracing the maximum
+    is meaningful.  Returns None when the series hold no points.
+    """
+    best: tuple[str, object, float] | None = None
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            if best is None or y > best[2]:
+                best = (s.label, x, y)
+    return best
+
+
+def trace_point(run_fn, path: str, *, label: str = "") -> str | None:
+    """Run benchmark code under observability; export its slowest trace.
+
+    ``run_fn`` is a zero-argument callable that executes one or more
+    benchmark points (any driver function closure).  Every simulation it
+    launches is captured via :func:`repro.obs.capture` -- no driver needs
+    an ``obs`` parameter -- and the Chrome trace of the run with the
+    longest simulated timeline (the sweep's slowest point) is written to
+    ``path``.  Returns the path, or None when nothing was simulated
+    (e.g. every point came from the run cache).
+    """
+    from repro.obs import capture, write_chrome_trace
+
+    with capture() as sink:
+        run_fn()
+    if not sink:
+        return None
+
+    def extent(obs) -> int:
+        return max((s.end_ns() for s in obs.spans.spans), default=0)
+
+    return write_chrome_trace(path, max(sink, key=extent), label=label)
 
 
 def geomean(values) -> float:

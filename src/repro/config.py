@@ -88,6 +88,40 @@ class SimConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability (spans + per-rank metrics) switches.
+
+    When ``enabled`` is False -- the default -- no instrumentation object
+    is constructed and every protocol-layer hook reduces to one ``is
+    None`` test: schedules are bit-identical to pre-observability code.
+    Recording itself is pure observation (list appends and dict updates
+    on the simulated clock; nothing is ever scheduled), so enabling it
+    does not perturb schedules either -- it only costs host time.
+
+    Attributes
+    ----------
+    enabled:
+        Attach an :class:`~repro.obs.core.Instrumentation` to the run
+        (exposed as ``RunResult.obs``).
+    max_spans:
+        Span-log truncation limit; appends past it are counted in
+        ``spans.dropped`` instead of stored.
+    nic_marks:
+        Record an instant mark on the destination NIC's track for every
+        delivered packet (one track per NIC in the Chrome export).
+        Metrics (bytes per link) are collected regardless.
+    """
+
+    enabled: bool = False
+    max_spans: int = 500_000
+    nic_marks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_spans < 0:
+            raise ValueError(f"max_spans={self.max_spans} is negative")
+
+
+@dataclass(frozen=True)
 class NicStall:
     """The NIC of ``node`` freezes for ``[start_ns, start_ns+duration_ns)``:
     nothing injects from or is serviced at that node during the window."""
@@ -291,9 +325,16 @@ class FaultConfig:
 
 @dataclass
 class RunResult:
-    """Result of one SPMD run: per-rank return values plus counters."""
+    """Result of one SPMD run: per-rank return values plus counters.
+
+    ``obs`` is the run's :class:`~repro.obs.core.Instrumentation` when
+    observability was enabled (span timeline + metrics registry), else
+    None.  It is deliberately not folded into ``stats`` -- the stats dict
+    stays plain JSON-ready data.
+    """
 
     returns: list
     sim_time_ns: int
     events_processed: int
     stats: dict = field(default_factory=dict)
+    obs: object | None = None

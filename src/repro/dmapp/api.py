@@ -47,6 +47,10 @@ class DmappHandle:
 class DmappEndpoint:
     """One rank's DMAPP context."""
 
+    # Observability sink; assigned by RankContext when the world carries
+    # an Instrumentation, else stays None and every hook is one test.
+    obs = None
+
     def __init__(
         self,
         env,
@@ -73,13 +77,19 @@ class DmappEndpoint:
     def _wire_back(self, target_node: int) -> float:
         return self.network.wire(target_node, self.node)
 
-    def _track(self, handle: DmappHandle) -> DmappHandle:
+    def _track(self, handle: DmappHandle, target: int | None = None,
+               nbytes: int = 0) -> DmappHandle:
         self._horizon = max(self._horizon, handle.remote_complete)
         self._issued += 1
         # Data movement is forward progress for the watchdog; AMOs are
         # deliberately NOT marks (a spinning lock issues AMOs forever).
         if handle.kind in ("put", "get"):
             self.env.note_progress()
+        # env.now has not advanced since issue (every op body computes its
+        # times eagerly and only yields after _track), so now == t0.
+        if self.obs is not None and target is not None:
+            self.obs.on_op(self.rank, handle.kind, target, self.env.now,
+                           handle.remote_complete, nbytes)
         return handle
 
     def _resolve(self, desc: MemDescriptor):
@@ -135,7 +145,7 @@ class DmappEndpoint:
                 break
         handle.remote_complete = int(round(
             last_delivery + self._wire_back(tnode)))
-        self._track(handle)
+        self._track(handle, desc.rank, total)
         # The CPU is blocked only until the NIC accepted the descriptor
         # (o_inject); the DMA drain itself overlaps with computation.
         wait = cpu_free - self.env.now
@@ -198,7 +208,7 @@ class DmappEndpoint:
         ev.callbacks.append(_read_at_target)
         ev.succeed(delay=max(0, data_arrival - self.env.now))
         net.counters.count_issue(self.rank, "get", nbytes)
-        self._track(handle)
+        self._track(handle, desc.rank, nbytes)
         admit = net.injection_admit(self.node, inj_end, _HEADER_BYTES)
         cpu_free = max(self.env.now + int(round(p.o_inject)), admit)
         wait = cpu_free - self.env.now
@@ -241,7 +251,7 @@ class DmappEndpoint:
                                  is_amo=True, on_deliver=_execute)
         handle.remote_complete = int(round(delivery + self._wire_back(tnode)))
         net.counters.count_issue(self.rank, f"amo:{op}", 8)
-        self._track(handle)
+        self._track(handle, target_rank, 8)
         admit = net.injection_admit(self.node, inj_end, _AMO_BYTES)
         cpu_free = max(self.env.now + int(round(net.params.o_inject)), admit)
         wait = cpu_free - self.env.now
@@ -271,7 +281,7 @@ class DmappEndpoint:
                                  is_amo=True, on_deliver=_execute)
         handle.remote_complete = int(round(delivery + self._wire_back(tnode)))
         net.counters.count_issue(self.rank, "amo:custom", 8)
-        self._track(handle)
+        self._track(handle, target_rank, 8)
         admit = net.injection_admit(self.node, inj_end, _AMO_BYTES)
         cpu_free = max(self.env.now + int(round(net.params.o_inject)), admit)
         wait = cpu_free - self.env.now
@@ -328,7 +338,7 @@ class DmappEndpoint:
         net.counters.count_service(tnode)
         net.counters.count_issue(self.rank, f"amo-stream:{op}", nbytes)
         handle.remote_complete = int(round(delivery + self._wire_back(tnode)))
-        self._track(handle)
+        self._track(handle, target_rank, nbytes)
         wait = cpu_free - self.env.now
         if wait > 0:
             yield self.env.timeout(wait)
@@ -472,8 +482,16 @@ class ResilientDmappEndpoint(DmappEndpoint):
             inj._trace("retransmit",
                        f"{kind} rank{self.rank}->rank{target_rank} "
                        f"#{attempts}")
+            # Draw the backoff exactly once: the obs hook must reuse it,
+            # or recording would consume an extra jitter sample and
+            # perturb the (seeded, deterministic) retransmit schedule.
+            backoff = inj.backoff_ns(attempts)
+            if self.obs is not None:
+                self.obs.on_retransmit(self.rank, kind, target_rank,
+                                       env.now, attempts,
+                                       int(round(backoff)))
             resend_floor = int(round(inj_end + cfg.op_deadline_ns
-                                     + inj.backoff_ns(attempts)))
+                                     + backoff))
 
     # ------------------------------------------------------------------
     # resilient operations
@@ -512,7 +530,7 @@ class ResilientDmappEndpoint(DmappEndpoint):
                 handle.local_complete = inj_end
                 break
         handle.remote_complete = last_complete
-        self._track(handle)
+        self._track(handle, desc.rank, total)
         wait = cpu_free - self.env.now
         if wait > 0:
             yield self.env.timeout(wait)
@@ -577,8 +595,13 @@ class ResilientDmappEndpoint(DmappEndpoint):
             inj.stats.retransmits += 1
             inj._trace("retransmit",
                        f"get rank{self.rank}->rank{desc.rank} #{attempts}")
+            backoff = inj.backoff_ns(attempts)
+            if self.obs is not None:
+                self.obs.on_retransmit(self.rank, "get", desc.rank,
+                                       self.env.now, attempts,
+                                       int(round(backoff)))
             resend_floor = int(round(inj_end + cfg.op_deadline_ns
-                                     + inj.backoff_ns(attempts)))
+                                     + backoff))
 
         inj_start, inj_end = first_window
         handle = DmappHandle("get", inj_end, data_arrival)
@@ -593,7 +616,7 @@ class ResilientDmappEndpoint(DmappEndpoint):
         ev.callbacks.append(_read_at_target)
         ev.succeed(delay=max(0, data_arrival - self.env.now))
         net.counters.count_issue(self.rank, "get", nbytes)
-        self._track(handle)
+        self._track(handle, desc.rank, nbytes)
         admit = net.injection_admit(self.node, inj_end, _HEADER_BYTES)
         cpu_free = max(self.env.now + int(round(p.o_inject)), admit)
         wait = cpu_free - self.env.now
@@ -628,7 +651,7 @@ class ResilientDmappEndpoint(DmappEndpoint):
         handle.local_complete = inj_end
         handle.remote_complete = complete
         net.counters.count_issue(self.rank, f"amo:{op}", 8)
-        self._track(handle)
+        self._track(handle, target_rank, 8)
         admit = net.injection_admit(self.node, inj_end, _AMO_BYTES)
         cpu_free = max(self.env.now + int(round(net.params.o_inject)),
                        admit)
@@ -659,7 +682,7 @@ class ResilientDmappEndpoint(DmappEndpoint):
         handle.local_complete = inj_end
         handle.remote_complete = complete
         net.counters.count_issue(self.rank, "amo:custom", 8)
-        self._track(handle)
+        self._track(handle, target_rank, 8)
         admit = net.injection_admit(self.node, inj_end, _AMO_BYTES)
         cpu_free = max(self.env.now + int(round(net.params.o_inject)),
                        admit)
@@ -746,14 +769,19 @@ class ResilientDmappEndpoint(DmappEndpoint):
             inj._trace("retransmit",
                        f"amo-stream rank{self.rank}->rank{target_rank} "
                        f"#{attempts}")
+            backoff = inj.backoff_ns(attempts)
+            if self.obs is not None:
+                self.obs.on_retransmit(self.rank, f"amo-stream:{op}",
+                                       target_rank, self.env.now, attempts,
+                                       int(round(backoff)))
             resend_floor = int(round(inj_end + cfg.op_deadline_ns
-                                     + inj.backoff_ns(attempts)))
+                                     + backoff))
 
         inj_start, inj_end = first_window
         handle.local_complete = inj_end
         handle.remote_complete = complete
         net.counters.count_issue(self.rank, f"amo-stream:{op}", nbytes)
-        self._track(handle)
+        self._track(handle, target_rank, nbytes)
         admit = net.injection_admit(self.node, inj_end, nbytes)
         cpu_free = max(self.env.now + int(round(p.o_inject)), admit)
         wait = cpu_free - self.env.now

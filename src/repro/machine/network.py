@@ -85,6 +85,10 @@ class Network:
         # Optional repro.faults.FaultInjector; None keeps every hot path on
         # the exact pre-fault code (zero cost, bit-identical runs).
         self.injector = injector
+        # Optional repro.obs.core.Instrumentation (assigned by World);
+        # same contract: None keeps the hot path untouched, and recording
+        # never schedules -- delivery times are computed before the hook.
+        self.obs = None
         self._nics: dict[int, Nic] = {}
         self._noise_state = 0x243F6A8885A308D3  # pi digits; deterministic
         # (src, dst) -> wire_base + per_hop * hops: pure in torus + params,
@@ -222,6 +226,9 @@ class Network:
             ev.callbacks.append(_fire)
         ev.succeed(deliver_time, delay=max(0, deliver_time - env.now))
         self.counters.count_service(dst_node)
+        if self.obs is not None:
+            self.obs.on_packet(src_node, dst_node, nbytes, deliver_time,
+                               is_amo)
         return deliver_time, ev
 
     def _packet_faulty(self, src_node, dst_node, nbytes, inject_window,
@@ -299,6 +306,9 @@ class Network:
                         _cb(env.now)
                     ev.callbacks.append(_fire)
                 ev.succeed(deliver_time, delay=max(0, deliver_time - env.now))
+                if self.obs is not None:
+                    self.obs.on_packet(src_node, dst_node, nbytes,
+                                       deliver_time, is_amo)
                 return deliver_time, ev
 
             give_up = (not reliable
@@ -329,9 +339,15 @@ class Network:
             # after the op deadline and retransmits with seeded backoff.
             inj.stats.retransmits += 1
             inj._trace("retransmit", f"{src_node}->{dst_node} #{attempt}")
+            # Draw the backoff once and share it with the obs hook: a
+            # second draw would shift the jitter stream and make
+            # instrumented schedules diverge from uninstrumented ones.
+            backoff = inj.backoff_ns(attempt)
+            if self.obs is not None:
+                self.obs.on_link_retransmit(src_node, dst_node, env.now,
+                                            attempt, int(round(backoff)))
             resend_floor = int(round(
-                inject_end + inj.config.op_deadline_ns
-                + inj.backoff_ns(attempt)))
+                inject_end + inj.config.op_deadline_ns + backoff))
 
     def occupy_injection(self, src_node: int, nbytes: int,
                          gap_per_byte: float | None = None,

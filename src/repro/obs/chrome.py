@@ -1,0 +1,99 @@
+"""Chrome trace-event JSON exporter (Perfetto / chrome://tracing).
+
+Emits the standard `traceEvents` array: one *process* group for the
+simulated ranks and one for the NICs, one *thread* (track) per rank and
+per NIC node.  Spans become complete events (``ph: "X"``), instants
+become ``ph: "i"`` marks.  Timestamps are simulated nanoseconds divided
+by 1000 (the trace-event unit is microseconds).
+
+Output is deterministic byte for byte: events are sorted by a total
+order, dict keys are sorted, and no wall-clock data is embedded -- two
+runs with the same seed produce identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.core import Instrumentation
+
+__all__ = ["chrome_trace", "chrome_trace_json", "write_chrome_trace",
+           "PID_RANKS", "PID_NICS"]
+
+PID_RANKS = 1
+PID_NICS = 2
+
+_TRACK_PIDS = {"rank": PID_RANKS, "nic": PID_NICS}
+
+
+def _metadata_events(obs: "Instrumentation") -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": PID_RANKS, "tid": 0,
+         "args": {"name": "ranks"}},
+        {"ph": "M", "name": "process_sort_index", "pid": PID_RANKS, "tid": 0,
+         "args": {"sort_index": 0}},
+        {"ph": "M", "name": "process_name", "pid": PID_NICS, "tid": 0,
+         "args": {"name": "nics"}},
+        {"ph": "M", "name": "process_sort_index", "pid": PID_NICS, "tid": 0,
+         "args": {"sort_index": 1}},
+    ]
+    tracks: set[tuple[str, int]] = {(s.track, s.tid) for s in obs.spans.spans}
+    for rank in range(obs.nranks):
+        tracks.add(("rank", rank))
+    for track, tid in sorted(tracks):
+        pid = _TRACK_PIDS.get(track, PID_RANKS)
+        label = f"rank {tid}" if track == "rank" else f"nic {tid}"
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": label}})
+        events.append({"ph": "M", "name": "thread_sort_index", "pid": pid,
+                       "tid": tid, "args": {"sort_index": tid}})
+    return events
+
+
+def chrome_trace(obs: "Instrumentation", *,
+                 label: str = "") -> dict[str, Any]:
+    """The trace as a JSON-ready dict (see :func:`chrome_trace_json`)."""
+    events = _metadata_events(obs)
+    spans = sorted(
+        obs.spans.spans,
+        key=lambda s: (s.start_ns, s.dur_ns, s.track, s.tid, s.name, s.args))
+    for s in spans:
+        ev: dict[str, Any] = {
+            "name": s.name,
+            "cat": s.cat,
+            "pid": _TRACK_PIDS.get(s.track, PID_RANKS),
+            "tid": s.tid,
+            "ts": s.start_ns / 1000.0,
+        }
+        if s.dur_ns > 0:
+            ev["ph"] = "X"
+            ev["dur"] = s.dur_ns / 1000.0
+        else:
+            ev["ph"] = "i"
+            ev["s"] = "t"  # thread-scoped instant
+        if s.args:
+            ev["args"] = dict(s.args)
+        events.append(ev)
+    other: dict[str, Any] = {"nranks": obs.nranks,
+                             "spans_dropped": obs.spans.dropped}
+    if label:
+        other["label"] = label
+    other.update(sorted(obs.meta.items()))
+    return {"traceEvents": events, "displayTimeUnit": "ns",
+            "otherData": other}
+
+
+def chrome_trace_json(obs: "Instrumentation", *, label: str = "") -> str:
+    """Serialized trace; byte-identical for identical runs."""
+    return json.dumps(chrome_trace(obs, label=label), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(path: str, obs: "Instrumentation", *,
+                       label: str = "") -> str:
+    """Write the trace to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(obs, label=label))
+    return path

@@ -1,0 +1,141 @@
+"""Per-rank metrics registry: counters, gauges, simulated-time histograms.
+
+Everything here is pure bookkeeping on plain dicts -- updating a metric
+never touches the event queue, so instrumented runs stay bit-identical
+to uninstrumented ones.  Snapshots are deterministic: every dict is
+emitted with sorted keys, and histogram buckets are powers of two (no
+floating-point bucket boundaries).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Power-of-two-bucket histogram of non-negative integer samples.
+
+    Bucket ``k`` counts samples ``v`` with ``2**(k-1) < v <= 2**k``
+    (bucket 0 counts zeros and ones).  Deterministic, integer-only.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        v = int(value)
+        if v < 0:
+            v = 0
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        k = max(0, (v - 1).bit_length()) if v > 1 else 0
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min or 0,
+            "max": self.max or 0,
+            "mean": round(self.mean, 3),
+            "buckets": {f"<=2^{k}": n for k, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by ``(metric, rank)``.
+
+    ``rank`` is an int for per-rank metrics; link-byte accounting uses
+    ``(src_node, dst_node)`` pairs via :meth:`link_bytes`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, dict[int, int]] = {}
+        self._gauges: dict[str, dict[int, float]] = {}
+        self._hists: dict[str, dict[int, Histogram]] = {}
+        self._links: dict[tuple[int, int], int] = {}
+
+    # -- update paths (hot; dict ops only) ------------------------------
+    def count(self, name: str, rank: int, inc: int = 1) -> None:
+        per_rank = self._counters.get(name)
+        if per_rank is None:
+            per_rank = self._counters[name] = {}
+        per_rank[rank] = per_rank.get(rank, 0) + inc
+
+    def gauge(self, name: str, rank: int, value: float) -> None:
+        per_rank = self._gauges.get(name)
+        if per_rank is None:
+            per_rank = self._gauges[name] = {}
+        per_rank[rank] = value
+
+    def observe(self, name: str, rank: int, value: int) -> None:
+        per_rank = self._hists.get(name)
+        if per_rank is None:
+            per_rank = self._hists[name] = {}
+        hist = per_rank.get(rank)
+        if hist is None:
+            hist = per_rank[rank] = Histogram()
+        hist.observe(value)
+
+    def link_bytes(self, src_node: int, dst_node: int, nbytes: int) -> None:
+        key = (src_node, dst_node)
+        self._links[key] = self._links.get(key, 0) + nbytes
+
+    # -- queries ---------------------------------------------------------
+    def counter_total(self, name: str) -> int:
+        return sum(self._counters.get(name, {}).values())
+
+    def histogram(self, name: str, rank: int) -> Histogram | None:
+        return self._hists.get(name, {}).get(rank)
+
+    def merged_histogram(self, name: str) -> Histogram:
+        """All ranks' samples of one histogram metric, combined."""
+        merged = Histogram()
+        for hist in self._hists.get(name, {}).values():
+            merged.count += hist.count
+            merged.total += hist.total
+            if hist.min is not None and (merged.min is None
+                                         or hist.min < merged.min):
+                merged.min = hist.min
+            if hist.max is not None and (merged.max is None
+                                         or hist.max > merged.max):
+                merged.max = hist.max
+            for k, n in hist.buckets.items():
+                merged.buckets[k] = merged.buckets.get(k, 0) + n
+        return merged
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic nested-dict view of every metric."""
+        return {
+            "counters": {
+                name: {str(r): v for r, v in sorted(ranks.items())}
+                for name, ranks in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {str(r): v for r, v in sorted(ranks.items())}
+                for name, ranks in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {str(r): h.snapshot() for r, h in sorted(ranks.items())}
+                for name, ranks in sorted(self._hists.items())
+            },
+            "link_bytes": {
+                f"{s}->{d}": n for (s, d), n in sorted(self._links.items())
+            },
+        }

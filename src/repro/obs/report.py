@@ -1,0 +1,100 @@
+"""Plain-text run reports from an :class:`~repro.obs.core.Instrumentation`.
+
+The report aggregates the span timeline by span name (count / total /
+mean / max simulated time) and appends the metrics registry: per-rank
+counters, histogram summaries (lock hold times, epoch durations,
+retransmit backoff, operation latencies), and the busiest network links.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.core import Instrumentation
+
+__all__ = ["render_report", "span_aggregates"]
+
+
+def span_aggregates(obs: "Instrumentation") -> list[dict[str, Any]]:
+    """Per-span-name aggregates, sorted by total time descending."""
+    agg: dict[str, list[int]] = {}
+    for s in obs.spans.spans:
+        row = agg.get(s.name)
+        if row is None:
+            agg[s.name] = [1, s.dur_ns, s.dur_ns]
+        else:
+            row[0] += 1
+            row[1] += s.dur_ns
+            row[2] = max(row[2], s.dur_ns)
+    out = [{"name": name, "count": n, "total_ns": total, "max_ns": mx,
+            "mean_ns": round(total / n, 1)}
+           for name, (n, total, mx) in agg.items()]
+    out.sort(key=lambda r: (-r["total_ns"], r["name"]))
+    return out
+
+
+def _fmt_us(ns: float) -> str:
+    return f"{ns / 1000.0:.2f}"
+
+
+def render_report(obs: "Instrumentation", *, title: str = "run report",
+                  sim_time_ns: int | None = None,
+                  events_processed: int | None = None,
+                  top: int = 12) -> str:
+    """Human-readable report; deterministic for identical runs."""
+    from repro.bench.harness import format_table
+
+    lines = [title, "=" * len(title)]
+    lines.append(f"ranks: {obs.nranks}")
+    if sim_time_ns is not None:
+        lines.append(f"simulated time: {sim_time_ns / 1000.0:.1f} us")
+    if events_processed is not None:
+        lines.append(f"kernel events: {events_processed}")
+    lines.append(f"spans recorded: {len(obs.spans)}"
+                 + (f" (+{obs.spans.dropped} dropped)"
+                    if obs.spans.dropped else ""))
+
+    # Instants (zero duration: packet marks, retransmits, notifications)
+    # carry no time; they are visible in the counters section instead.
+    aggs = [a for a in span_aggregates(obs) if a["total_ns"] > 0]
+    if aggs:
+        rows = [[a["name"], a["count"], _fmt_us(a["total_ns"]),
+                 _fmt_us(a["mean_ns"]), _fmt_us(a["max_ns"])]
+                for a in aggs[:top]]
+        lines.append("")
+        lines.append(format_table(
+            "where simulated time goes (by span)",
+            ["span", "count", "total us", "mean us", "max us"], rows))
+
+    snap = obs.metrics.snapshot()
+    counters = snap["counters"]
+    if counters:
+        rows = [[name, sum(ranks.values()),
+                 max(ranks.values()), len(ranks)]
+                for name, ranks in counters.items()]
+        lines.append("")
+        lines.append(format_table(
+            "counters", ["metric", "total", "max/rank", "ranks"], rows))
+
+    hists = snap["histograms"]
+    if hists:
+        rows = []
+        for name in hists:
+            merged = obs.metrics.merged_histogram(name)
+            rows.append([name, merged.count, _fmt_us(merged.mean),
+                         _fmt_us(merged.min or 0), _fmt_us(merged.max or 0)])
+        lines.append("")
+        lines.append(format_table(
+            "simulated-time histograms",
+            ["metric", "samples", "mean us", "min us", "max us"], rows))
+
+    links = snap["link_bytes"]
+    if links:
+        busiest = sorted(links.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        rows = [[link, nbytes] for link, nbytes in busiest]
+        lines.append("")
+        lines.append(format_table(
+            "busiest links", ["link (node->node)", "bytes"], rows))
+
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Named demo workloads for ``repro trace`` / ``repro report``.
+
+Each workload is a small SPMD program exercising one protocol family so
+its trace shows a characteristic timeline: ``putget`` (passive-target
+puts + flushes), ``locks`` (contended exclusive locks), ``fence``
+(active-target epochs), ``pscw`` (general active target).  All are
+deterministic: same seed, same schedule, same trace bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.config import MachineConfig, RunResult, SimConfig
+from repro.obs.core import Instrumentation
+from repro.rma.enums import LockType
+
+__all__ = ["WORKLOADS", "run_workload"]
+
+
+def wl_putget(ctx, iters: int = 16, nbytes: int = 64):
+    """lock_all epoch: ping data to the right neighbor, flush each put."""
+    data = np.full(nbytes, ctx.rank, np.uint8)
+    out = np.empty(nbytes, np.uint8)
+    win = yield from ctx.rma.win_allocate(max(nbytes, 8))
+    yield from win.lock_all()
+    yield from ctx.coll.barrier()
+    right = (ctx.rank + 1) % ctx.nranks
+    for _ in range(iters):
+        yield from win.put(data, right, 0)
+        yield from win.flush(right)
+    yield from win.get(out, right, 0)
+    yield from win.flush(right)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    return int(out[0])
+
+
+def wl_locks(ctx, iters: int = 6):
+    """Every rank contends for an exclusive lock on rank 0, then holds a
+    shared lock on its neighbor -- shows acquire/hold/release spans."""
+    win = yield from ctx.rma.win_allocate(64, disp_unit=8)
+    yield from ctx.coll.barrier()
+    ticket = np.int64(1)
+    for _ in range(iters):
+        yield from win.lock(0, LockType.EXCLUSIVE)
+        old = yield from win.fetch_and_op(ticket, 0, 0)
+        yield from win.unlock(0)
+        yield from win.lock((ctx.rank + 1) % ctx.nranks)
+        yield from win.unlock((ctx.rank + 1) % ctx.nranks)
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return int(old)
+
+
+def wl_fence(ctx, iters: int = 4, nbytes: int = 256):
+    """Fence-delimited epochs with neighbor puts (Figure 6b's shape)."""
+    data = np.full(nbytes, ctx.rank, np.uint8)
+    win = yield from ctx.rma.win_allocate(nbytes)
+    yield from win.fence()
+    for _ in range(iters):
+        yield from win.put(data, (ctx.rank + 1) % ctx.nranks, 0)
+        yield from win.fence()
+    yield from win.fence(no_succeed=True)
+    return ctx.now
+
+
+def wl_pscw(ctx, iters: int = 3, nbytes: int = 64):
+    """PSCW ring: expose to the left neighbor, access the right one."""
+    data = np.full(nbytes, ctx.rank, np.uint8)
+    win = yield from ctx.rma.win_allocate(nbytes)
+    yield from ctx.coll.barrier()
+    left = (ctx.rank - 1) % ctx.nranks
+    right = (ctx.rank + 1) % ctx.nranks
+    for _ in range(iters):
+        yield from win.post([left])
+        yield from win.start([right])
+        yield from win.put(data, right, 0)
+        yield from win.complete()
+        yield from win.wait()
+    yield from ctx.coll.barrier()
+    return ctx.now
+
+
+WORKLOADS: dict[str, Callable[..., Any]] = {
+    "putget": wl_putget,
+    "locks": wl_locks,
+    "fence": wl_fence,
+    "pscw": wl_pscw,
+}
+
+
+def run_workload(name: str, nranks: int = 4, *, seed: int | None = None,
+                 ranks_per_node: int = 1,
+                 **kwargs: Any) -> tuple[RunResult, Instrumentation]:
+    """Run one named workload with observability on; returns
+    ``(RunResult, Instrumentation)``."""
+    from repro.config import ObsConfig
+    from repro.runtime.job import run_spmd
+
+    try:
+        program = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOADS)}") from None
+    sim = SimConfig() if seed is None else SimConfig(seed=seed)
+    res = run_spmd(program, nranks,
+                   machine=MachineConfig(ranks_per_node=ranks_per_node),
+                   sim=sim, obs=ObsConfig(enabled=True), **kwargs)
+    assert res.obs is not None
+    return res, res.obs

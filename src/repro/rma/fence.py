@@ -28,6 +28,7 @@ def fence(win, no_succeed: bool = False):
     """
     ctx = win.ctx
     p = ctx.nranks
+    t0 = ctx.now
     # Local memory barrier makes XPMEM stores visible ...
     yield from ctx.compute(win.params.mfence_ns)
     yield from ctx.xpmem.mfence()
@@ -50,5 +51,10 @@ def fence(win, no_succeed: bool = False):
             win.epoch_access = None
             win.epoch_exposure = None
             raise
+    obs = ctx.obs
+    if obs is not None:
+        obs.rank_span(ctx.rank, "epoch.fence", t0, ctx.now, cat="epoch")
+        obs.metrics.count("rma.fence", ctx.rank)
+        obs.metrics.observe("fence_ns", ctx.rank, ctx.now - t0)
     win.epoch_access = None if no_succeed else "fence"
     win.epoch_exposure = None if no_succeed else "fence"

@@ -52,6 +52,7 @@ class LockState:
     lock_all_held: bool = False
     exclusive_count: int = 0                   # locks this origin holds
     retries: int = 0                           # back-off statistics
+    acquired_at: dict = field(default_factory=dict)  # obs: target -> ns
 
 
 def _backoff(win, attempt: int):
@@ -98,6 +99,7 @@ def lock(win, target: int, lock_type: LockType = LockType.SHARED):
     win.ctx.note_api(f"win.lock(target={target}, {lock_type.name.lower()})")
     recovery.check_peer_alive(win, target,
                               f"lock({lock_type.name.lower()})")
+    t0 = win.ctx.now
     yield from win.ctx.instr(win.params.instr_lock)
 
     try:
@@ -107,6 +109,14 @@ def lock(win, target: int, lock_type: LockType = LockType.SHARED):
             yield from _lock_exclusive(win, target)
     except NodeCrashedError as exc:
         recovery.fail_acquire(win.ctx, exc, f"lock(target={target})")
+    obs = win.ctx.obs
+    if obs is not None:
+        now = win.ctx.now
+        obs.rank_span(win.ctx.rank, f"lock.{lock_type.name.lower()}",
+                      t0, now, cat="lock", args={"target": target})
+        obs.metrics.count("rma.lock", win.ctx.rank)
+        obs.metrics.observe("lock_acquire_ns", win.ctx.rank, now - t0)
+        st.acquired_at[target] = now
     st.held[target] = lock_type
     win.epoch_access = "lock"
     # Acquisition is forward progress; the retry loops above are not --
@@ -209,6 +219,12 @@ def unlock(win, target: int):
         if st.exclusive_count == 0:
             yield from _forgiving_add(win, win.master,
                                       win_mod.IDX_GLOBAL_LOCK, -1)
+    obs = ctx.obs
+    if obs is not None:
+        t_acq = st.acquired_at.pop(target, ctx.now)
+        obs.rank_span(ctx.rank, "lock.hold", t_acq, ctx.now, cat="lock",
+                      args={"target": target})
+        obs.metrics.observe("lock_hold_ns", ctx.rank, ctx.now - t_acq)
     del st.held[target]
     if not st.held:
         win.epoch_access = None
@@ -224,6 +240,7 @@ def lock_all(win):
     if st.lock_all_held:
         raise LockError("lock_all() already held")
     win.ctx.note_api("win.lock_all()")
+    t0 = win.ctx.now
     yield from win.ctx.instr(win.params.instr_lock)
     attempt = 0
     try:
@@ -238,6 +255,13 @@ def lock_all(win):
             attempt += 1
     except NodeCrashedError as exc:
         recovery.fail_acquire(win.ctx, exc, "lock_all")
+    obs = win.ctx.obs
+    if obs is not None:
+        now = win.ctx.now
+        obs.rank_span(win.ctx.rank, "lock.lock_all", t0, now, cat="lock")
+        obs.metrics.count("rma.lock_all", win.ctx.rank)
+        obs.metrics.observe("lock_acquire_ns", win.ctx.rank, now - t0)
+        st.acquired_at["all"] = now
     st.lock_all_held = True
     win.epoch_access = "lock_all"
     win.ctx.env.note_progress()
@@ -252,6 +276,11 @@ def unlock_all(win):
     yield from ctx.dmapp.gsync()
     yield from _forgiving_add(win, win.master, win_mod.IDX_GLOBAL_LOCK,
                               -GLOBAL_SHARED_UNIT)
+    obs = ctx.obs
+    if obs is not None:
+        t_acq = st.acquired_at.pop("all", ctx.now)
+        obs.rank_span(ctx.rank, "lock.hold_all", t_acq, ctx.now, cat="lock")
+        obs.metrics.observe("lock_hold_ns", ctx.rank, ctx.now - t_acq)
     st.lock_all_held = False
     win.epoch_access = None
     win.ctx.env.note_progress()

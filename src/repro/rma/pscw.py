@@ -42,6 +42,8 @@ class PscwState:
     exposure_group: set = field(default_factory=set)
     epochs_posted: int = 0
     epochs_started: int = 0
+    access_opened_at: int = 0     # obs: start() time of the open epoch
+    exposure_opened_at: int = 0   # obs: post() time of the open epoch
 
 
 def _append_entry(ctrl, capacity: int, poster_rank: int):
@@ -70,6 +72,7 @@ def post(win, group):
         raise EpochError("a rank cannot post to itself")
     ctx = win.ctx
     ctx.note_api(f"win.post(group={sorted(group)})")
+    t0 = ctx.now
     notifier = ctx.notifier
     dead: set = set()
     if notifier is not None:
@@ -99,6 +102,12 @@ def post(win, group):
     st.exposure_group = set(group) - dead
     st.epochs_posted += 1
     win.epoch_exposure = "pscw"
+    obs = ctx.obs
+    if obs is not None:
+        obs.rank_span(ctx.rank, "pscw.post", t0, ctx.now, cat="epoch",
+                      args={"peers": len(group)})
+        obs.metrics.count("rma.post", ctx.rank)
+        st.exposure_opened_at = ctx.now
     ctx.env.note_progress()
     if dead:
         ctx.world.injector.stats.epochs_failed += 1
@@ -115,6 +124,7 @@ def start(win, group):
             f"start() while in a {win.epoch_access!r} access epoch")
     ctx = win.ctx
     ctx.note_api(f"win.start(group={sorted(group)})")
+    t0 = ctx.now
     yield from ctx.compute(win.params.pscw_start_overhead)
     cap = win.params.pscw_ring_capacity
     ctrl = win.ctrl
@@ -149,6 +159,12 @@ def start(win, group):
     st.access_group = set(group)
     st.epochs_started += 1
     win.epoch_access = "pscw"
+    obs = ctx.obs
+    if obs is not None:
+        obs.rank_span(ctx.rank, "pscw.start", t0, ctx.now, cat="epoch",
+                      args={"peers": len(group)})
+        obs.metrics.count("rma.start", ctx.rank)
+        st.access_opened_at = ctx.now
     ctx.env.note_progress()
 
 
@@ -159,6 +175,7 @@ def complete(win):
         raise EpochError("complete() without a matching start()")
     ctx = win.ctx
     ctx.note_api("win.complete()")
+    t0 = ctx.now
     # Remote visibility of all epoch operations first ...
     yield from ctx.xpmem.mfence()
     yield from ctx.dmapp.gsync()
@@ -184,6 +201,11 @@ def complete(win):
                             if ctx.node_of(r) == exc.node)
     st.access_group = set()
     win.epoch_access = None
+    obs = ctx.obs
+    if obs is not None:
+        obs.rank_span(ctx.rank, "pscw.complete", t0, ctx.now, cat="epoch")
+        obs.metrics.observe("epoch_access_ns", ctx.rank,
+                            max(0, ctx.now - st.access_opened_at))
     ctx.env.note_progress()
     if dead:
         # The epoch is closed on this survivor; the dead exposure peers
@@ -200,6 +222,7 @@ def wait(win):
         raise EpochError("wait() without a matching post()")
     ctx = win.ctx
     ctx.note_api("win.wait()")
+    t0 = ctx.now
     expected = len(st.exposure_group)
     yield from ctx.compute(win.params.pscw_wait_overhead)
     notifier = ctx.notifier
@@ -229,4 +252,9 @@ def wait(win):
                 notifier.failure_event(win.rank)])
     st.exposure_group = set()
     win.epoch_exposure = None
+    obs = ctx.obs
+    if obs is not None:
+        obs.rank_span(ctx.rank, "pscw.wait", t0, ctx.now, cat="epoch")
+        obs.metrics.observe("epoch_exposure_ns", ctx.rank,
+                            max(0, ctx.now - st.exposure_opened_at))
     ctx.env.note_progress()

@@ -392,9 +392,17 @@ class Window:
             raise EpochError("flush outside a passive/active epoch")
         self.op_counts["flush"] += 1
         self.ctx.note_api(f"win.flush(target={target})")
+        t0 = self.ctx.now
         yield from self.ctx.instr(self.params.instr_flush)
         yield from self.ctx.compute(self.params.mfence_ns)
         yield from self.ctx.dmapp.gsync()
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.rank_span(self.ctx.rank, "flush", t0, self.ctx.now,
+                          cat="rma")
+            obs.metrics.count("rma.flush", self.ctx.rank)
+            obs.metrics.observe("flush_ns", self.ctx.rank,
+                                self.ctx.now - t0)
         self.ctx.env.note_progress()
 
     def flush_all(self):

@@ -38,15 +38,28 @@ def _collective(fn):
     """Fault-context wrapper: a :class:`FaultError` escaping a collective
     (a crashed or unreachable peer hit mid-algorithm) is annotated with
     the collective's name and participant set, so diagnostics name the
-    operation rather than just the underlying point-to-point send."""
+    operation rather than just the underlying point-to-point send.
+
+    Doubling as the observability hook: every collective call opens one
+    ``coll.<name>`` span on the calling rank's track (entry to return on
+    the simulated clock; recording only, nothing scheduled)."""
+    name = fn.__name__
+
     @functools.wraps(fn)
     def wrapper(self, *args, **kwargs):
+        obs = self.ctx.obs
+        t0 = self.ctx.now if obs is not None else 0
         try:
-            return (yield from fn(self, *args, **kwargs))
+            result = yield from fn(self, *args, **kwargs)
         except FaultError as exc:
-            exc.annotate_collective(fn.__name__,
+            exc.annotate_collective(name,
                                     tuple(range(self.ctx.nranks)))
             raise
+        if obs is not None:
+            obs.rank_span(self.ctx.rank, f"coll.{name}", t0,
+                          self.ctx.now, cat="coll")
+            obs.metrics.count(f"coll.{name}", self.ctx.rank)
+        return result
     return wrapper
 
 

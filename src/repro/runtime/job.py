@@ -15,7 +15,13 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.config import FaultConfig, MachineConfig, RunResult, SimConfig
+from repro.config import (
+    FaultConfig,
+    MachineConfig,
+    ObsConfig,
+    RunResult,
+    SimConfig,
+)
 from repro.machine.params import GeminiParams, XpmemParams
 from repro.mpi1.params import Mpi1Params
 from repro.runtime.process import RankContext
@@ -39,10 +45,11 @@ class Job:
     xpmem: XpmemParams = field(default_factory=XpmemParams)
     mpi1: Mpi1Params = field(default_factory=Mpi1Params)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def build_world(self) -> World:
         return World(self.nranks, self.machine, self.sim, self.gemini,
-                     self.xpmem, self.mpi1, self.faults)
+                     self.xpmem, self.mpi1, self.faults, self.obs)
 
     def run(self, program: Callable, *args, **kwargs) -> RunResult:
         """Run ``program(ctx, *args, **kwargs)`` on every rank."""
@@ -150,6 +157,7 @@ def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
         sim_time_ns=world.env.now,
         events_processed=world.env.events_processed,
         stats=stats,
+        obs=world.obs,
     )
 
 
@@ -160,6 +168,7 @@ def run_spmd(program: Callable, nranks: int, *args,
              xpmem: XpmemParams | None = None,
              mpi1: Mpi1Params | None = None,
              faults: FaultConfig | None = None,
+             obs: ObsConfig | None = None,
              **kwargs) -> RunResult:
     """One-shot SPMD run; the package's main entry point.
 
@@ -167,6 +176,7 @@ def run_spmd(program: Callable, nranks: int, *args,
     forwarded to ``program`` after the rank context.  ``faults`` attaches a
     :class:`~repro.config.FaultConfig`; without one, no fault machinery is
     constructed and runs are bit-identical to the unhardened code.
+    ``obs`` enables the observability layer (``RunResult.obs``).
     """
     job = Job(nranks=nranks,
               machine=machine or MachineConfig(),
@@ -174,5 +184,6 @@ def run_spmd(program: Callable, nranks: int, *args,
               gemini=gemini or GeminiParams(),
               xpmem=xpmem or XpmemParams(),
               mpi1=mpi1 or Mpi1Params(),
-              faults=faults or FaultConfig())
+              faults=faults or FaultConfig(),
+              obs=obs or ObsConfig())
     return job.run(program, *args, **kwargs)

@@ -130,6 +130,12 @@ class FailureNotifier:
             return
         stats = self.world.injector.stats
         stats.notifications_delivered += 1
+        obs = self.world.obs
+        if obs is not None:
+            obs.rank_instant(rank, "notify.failure", self.env.now,
+                             cat="fault",
+                             args={"failed": len(self._known[rank])})
+            obs.metrics.count("failure.notifications", rank)
         ev = self._events[rank]
         if ev is not None and not ev.triggered:
             self._events[rank] = None
@@ -144,6 +150,7 @@ class FailureNotifier:
             yield env.timeout(delta)
         inj.stats.failures_detected += 1
         inj._trace("detect", f"node {node} death confirmed")
+        t_detect = env.now
         env.note_progress()
 
         survivors = self._survivors(when)
@@ -173,4 +180,13 @@ class FailureNotifier:
         for hook in self._hooks:
             yield from hook(failed_ranks)
         inj._trace("revoke", f"node {node} state revoked")
+        obs = self.world.obs
+        if obs is not None:
+            # Detection-to-revocation on the dead node's NIC track: the
+            # recovery machinery acts on its behalf while it is gone.
+            obs.nic_span(node, "failure.recover", t_detect, env.now,
+                         cat="fault",
+                         args={"ranks": len(failed_ranks)})
+            obs.metrics.observe("failure_recover_ns", 0,
+                                env.now - t_detect)
         env.note_progress()

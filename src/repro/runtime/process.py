@@ -36,6 +36,9 @@ class RankContext:
         self.node = world.rank_map.node_of(rank)
         self.space = world.spaces[rank]
         self.reg = world.reg_tables[rank]
+        # Observability sink (None when disabled -- every hook below the
+        # runtime tests exactly that before recording anything).
+        self.obs = world.obs
         if world.injector is not None:
             # Faulty fabric: the hardened transport (deadlines, seeded
             # backoff, idempotent retransmit, AMO replay dedup).
@@ -45,6 +48,7 @@ class RankContext:
         else:
             self.dmapp = DmappEndpoint(world.env, rank, world.network,
                                        world.rank_map, world.reg_tables)
+        self.dmapp.obs = world.obs
         self.xpmem = XpmemEndpoint(world.env, rank, world.rank_map,
                                    world.xpmem, world.counters)
         self.mpi = Mpi1Endpoint(world.env, rank, world.network,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.config import FaultConfig, MachineConfig, SimConfig
+from repro.config import FaultConfig, MachineConfig, ObsConfig, SimConfig
 from repro.machine.network import Network
 from repro.machine.params import GeminiParams, XpmemParams
 from repro.machine.topology import RankMap, Torus3D
@@ -28,6 +28,7 @@ class World:
         xpmem: XpmemParams | None = None,
         mpi1: Mpi1Params | None = None,
         faults: FaultConfig | None = None,
+        obs: ObsConfig | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("need at least one rank")
@@ -38,6 +39,7 @@ class World:
         self.xpmem = xpmem or XpmemParams()
         self.mpi1 = mpi1 or Mpi1Params()
         self.faults = faults or FaultConfig()
+        self.obs_config = obs or ObsConfig()
 
         # With planned crashes, rank processes die by Interrupt; the run
         # must survive those instead of aborting (non-strict kernel).
@@ -59,12 +61,35 @@ class World:
                                           self.sim.seed, self.env)
         else:
             self.injector = None
+        # Observability: spans + per-rank metrics.  Constructed when the
+        # config enables it, or when a repro.obs.capture() block is live
+        # (the benchmark-harness hook); None otherwise, and every
+        # protocol-layer hook is behind a single ``is None`` test.
+        self.obs = None
+        if self.obs_config.enabled:
+            from repro.obs.core import Instrumentation
+
+            self.obs = Instrumentation(nranks,
+                                       max_spans=self.obs_config.max_spans,
+                                       nic_marks=self.obs_config.nic_marks)
+        else:
+            from repro.obs.core import active_capture
+
+            sink = active_capture()
+            if sink is not None:
+                from repro.obs.core import Instrumentation
+
+                self.obs = Instrumentation(
+                    nranks, max_spans=self.obs_config.max_spans,
+                    nic_marks=self.obs_config.nic_marks)
+                sink.append(self.obs)
         self.rank_map = RankMap.for_config(nranks, self.machine)
         self.torus = Torus3D(self.machine.derive_torus(nranks))
         self.counters = OpCounters()
         self.network = Network(self.env, self.torus, self.rank_map,
                                self.gemini, self.counters,
                                injector=self.injector)
+        self.network.obs = self.obs
         self.spaces = {r: AddressSpace(r) for r in range(nranks)}
         self.reg_tables = {r: RegistrationTable(r) for r in range(nranks)}
         self.mpi_registry: dict = {}

@@ -1,10 +1,15 @@
-"""Event tracing and operation counting.
+"""Event tracing, span recording, and operation counting.
 
-`Tracer` records raw kernel events (for debugging).  `OpCounters` is the
-workhorse for the scalability assertions in the test suite: the paper claims
-O(log p) time/space and O(k) messages for its protocols, and we verify those
-claims by *counting* actual simulated operations rather than trusting the
-analytic model.
+`Tracer` records raw kernel events (for debugging).  `SpanLog` is the
+span-aware substrate of the observability layer (:mod:`repro.obs`): the
+protocol layers append *finished* named spans -- lock acquisitions, epoch
+durations, put/get/AMO issue-to-completion windows -- on the simulated
+clock.  Recording is pure observation (list appends; nothing is ever
+scheduled), so instrumented runs are bit-identical to uninstrumented
+ones.  `OpCounters` is the workhorse for the scalability assertions in
+the test suite: the paper claims O(log p) time/space and O(k) messages
+for its protocols, and we verify those claims by *counting* actual
+simulated operations rather than trusting the analytic model.
 """
 
 from __future__ import annotations
@@ -12,7 +17,64 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["Tracer", "OpCounters"]
+__all__ = ["Tracer", "OpCounters", "SpanRecord", "SpanLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span (or instant, when ``dur_ns == 0``) on a track.
+
+    ``track`` names the track family (``"rank"`` or ``"nic"``), ``tid``
+    the track instance (rank number / node number).  Times are simulated
+    nanoseconds; ``args`` carries free-form labels for the exporters,
+    frozen as a sorted item tuple.
+    """
+
+    track: str
+    tid: int
+    name: str
+    cat: str
+    start_ns: int
+    dur_ns: int
+    args: tuple = ()
+
+    def end_ns(self) -> int:
+        return self.start_ns + self.dur_ns
+
+
+class SpanLog:
+    """Append-only log of finished spans with bounded memory.
+
+    Appends past ``limit`` are counted in ``dropped`` instead of stored,
+    mirroring :class:`Tracer`'s truncation contract.  Append order is the
+    (deterministic) order protocol code closed the spans, so exports are
+    reproducible without sorting by insertion time.
+    """
+
+    def __init__(self, limit: int = 500_000) -> None:
+        self.spans: list[SpanRecord] = []
+        self.dropped = 0
+        self.limit = limit
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def add(self, track: str, tid: int, name: str, cat: str,
+            start_ns: int, end_ns: int, args: dict | None = None) -> None:
+        """Record a finished span; ``args`` is snapshotted to a tuple."""
+        if len(self.spans) >= self.limit:
+            self.dropped += 1
+            return
+        if end_ns < start_ns:
+            end_ns = start_ns
+        frozen = tuple(sorted(args.items())) if args else ()
+        self.spans.append(SpanRecord(track, tid, name, cat, int(start_ns),
+                                     int(end_ns - start_ns), frozen))
+
+    def instant(self, track: str, tid: int, name: str, cat: str,
+                ts_ns: int, args: dict | None = None) -> None:
+        """Record a zero-duration mark."""
+        self.add(track, tid, name, cat, ts_ns, ts_ns, args)
 
 
 class Tracer:
@@ -29,18 +91,25 @@ class Tracer:
         self.records: list[tuple[int, str]] = []
         self.fault_counts: Counter = Counter()
         self.limit = limit
+        self.dropped = 0
 
     def record(self, now: int, event) -> None:
         if len(self.records) < self.limit:
             self.records.append((now, event.name or type(event).__name__))
+        else:
+            self.dropped += 1
 
     def record_fault(self, now: int, kind: str, detail: str = "") -> None:
+        # Fault counters aggregate past the truncation limit: the record
+        # stream is bounded, the statistics are not.
         self.fault_counts[kind] += 1
         if len(self.records) < self.limit:
             label = f"fault:{kind}"
             if detail:
                 label += f" {detail}"
             self.records.append((now, label))
+        else:
+            self.dropped += 1
 
 
 @dataclass

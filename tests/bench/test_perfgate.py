@@ -1,0 +1,102 @@
+"""Perf-regression gate: comparison logic and calibration scaling."""
+
+from repro.bench.perfgate import calibration_rate, compare_reports
+
+
+def _report(scale=1.0, cal=10_000_000.0, with_figures=True):
+    rep = {
+        "calibration_rate": cal,
+        "kernel": {
+            "workloads": [
+                {"workload": "ring", "fast_events_per_sec": 800_000 * scale},
+                {"workload": "putget_pattern",
+                 "fast_events_per_sec": 900_000 * scale},
+            ],
+            "full_stack": {"events_per_sec": 150_000 * scale},
+        },
+    }
+    if with_figures:
+        # Wall time scales inversely with throughput.
+        rep["figures"] = {"wall_s": {"fig7a": 40.0 / scale, "fig9": 0.4}}
+    return rep
+
+
+def test_identical_reports_pass():
+    failures, lines = compare_reports(_report(), _report())
+    assert failures == []
+    assert any(line.startswith("ok") and "kernel.ring" in line
+               for line in lines)
+
+
+def test_two_x_slowdown_fails_every_metric():
+    failures, _ = compare_reports(_report(), _report(scale=0.5))
+    kernel = [f for f in failures if f.startswith("kernel.")]
+    assert len(kernel) == 3
+    assert all("below floor" in f for f in kernel)
+    # The slowdown also inflates the figure wall past its ceiling.
+    assert [f for f in failures if f.startswith("figures.fig7a")]
+
+
+def test_figure_wall_regression_fails():
+    slow = _report()
+    slow["figures"]["wall_s"]["fig7a"] = 80.0
+    failures, _ = compare_reports(_report(), slow)
+    assert failures == ["figures.fig7a: 80.00s above ceiling 53.33s "
+                        "(>25% throughput drop vs scaled baseline)"]
+
+
+def test_short_figures_and_missing_figures_are_skipped():
+    """Sub-second baselines are noise; kernel-only CI runs lack figures."""
+    failures, lines = compare_reports(_report(), _report(with_figures=False))
+    assert failures == []
+    assert any("skip figures.fig7a" in line for line in lines)
+    assert not any("fig9" in line for line in lines)
+
+
+def test_missing_kernel_metric_fails():
+    current = _report()
+    current["kernel"]["workloads"].pop(0)
+    failures, _ = compare_reports(_report(), current)
+    assert failures == ["kernel.ring: missing from current report"]
+
+
+def test_calibration_scales_expectations():
+    """A uniformly 2x slower machine passes; the same raw numbers fail
+    when the calibration loop says the machine is just as fast."""
+    slow_machine = _report(scale=0.5)
+    ok, _ = compare_reports(_report(), slow_machine,
+                            current_calibration=5_000_000.0)
+    assert ok == []
+    bad, _ = compare_reports(_report(), slow_machine,
+                             current_calibration=10_000_000.0)
+    assert len([f for f in bad if f.startswith("kernel.")]) == 3
+
+
+def test_no_calibration_means_raw_comparison():
+    failures, lines = compare_reports(_report(), _report(scale=0.8))
+    assert failures == []
+    assert lines[0].startswith("machine scale: 1.000")
+
+
+def test_calibration_rate_is_positive():
+    # Tiny iteration count: we only need the plumbing, not a stable rate.
+    assert calibration_rate(iters=10_000, best_of=1) > 0
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    import json
+
+    from repro.bench.perfgate import main
+
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(_report()))
+    cur.write_text(json.dumps(_report()))
+    argv = ["--baseline", str(base), "--current", str(cur),
+            "--no-calibration"]
+    assert main(argv) == 0
+    assert "perf gate passed" in capsys.readouterr().out
+
+    cur.write_text(json.dumps(_report(scale=0.5)))
+    assert main(argv) == 1
+    assert "perf gate FAILED" in capsys.readouterr().out

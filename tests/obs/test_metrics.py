@@ -1,0 +1,60 @@
+"""Metrics registry: counters, gauges, histograms, link accounting."""
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram()
+    for v in (0, 1, 2, 3, 4, 1000):
+        h.observe(v)
+    assert h.count == 6
+    assert h.total == 1010
+    assert h.min == 0
+    assert h.max == 1000
+    assert abs(h.mean - 1010 / 6) < 1e-9
+    snap = h.snapshot()
+    # 0 and 1 land in the first bucket; 2 in <=2^1; 3 and 4 in <=2^2.
+    assert snap["buckets"]["<=2^0"] == 2
+    assert snap["buckets"]["<=2^1"] == 1
+    assert snap["buckets"]["<=2^2"] == 2
+    assert snap["buckets"]["<=2^10"] == 1
+
+
+def test_histogram_empty():
+    h = Histogram()
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.snapshot()["count"] == 0
+
+
+def test_registry_counters_and_gauges():
+    m = MetricsRegistry()
+    m.count("ops", 0)
+    m.count("ops", 0, inc=4)
+    m.count("ops", 2)
+    m.gauge("depth", 1, 7)
+    snap = m.snapshot()
+    # Snapshots stringify rank keys so they round-trip through JSON.
+    assert snap["counters"]["ops"] == {"0": 5, "2": 1}
+    assert snap["gauges"]["depth"] == {"1": 7}
+    assert m.counter_total("ops") == 6
+    assert m.counter_total("missing") == 0
+
+
+def test_registry_histograms_merge_across_ranks():
+    m = MetricsRegistry()
+    m.observe("lat", 0, 10)
+    m.observe("lat", 1, 30)
+    merged = m.merged_histogram("lat")
+    assert merged.count == 2
+    assert merged.total == 40
+    assert merged.min == 10 and merged.max == 30
+
+
+def test_registry_link_bytes():
+    m = MetricsRegistry()
+    m.link_bytes(0, 1, 64)
+    m.link_bytes(0, 1, 8)
+    m.link_bytes(1, 0, 4)
+    snap = m.snapshot()
+    assert snap["link_bytes"] == {"0->1": 72, "1->0": 4}

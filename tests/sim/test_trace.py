@@ -1,7 +1,7 @@
-"""Tracer and operation counters."""
+"""Tracer, span log, and operation counters."""
 
 from repro.sim.kernel import Environment
-from repro.sim.trace import OpCounters, Tracer
+from repro.sim.trace import OpCounters, SpanLog, SpanRecord, Tracer
 
 
 def test_tracer_records_events():
@@ -29,6 +29,46 @@ def test_tracer_limit():
     env.process(prog())
     env.run()
     assert len(env.tracer.records) == 2
+    assert env.tracer.dropped > 0
+
+
+def test_tracer_fault_counts_aggregate_past_limit():
+    tr = Tracer(limit=1)
+    tr.record_fault(0, "drop")
+    tr.record_fault(5, "drop")
+    tr.record_fault(9, "retransmit", "rank0->rank1 #2")
+    assert len(tr.records) == 1
+    assert tr.dropped == 2
+    # The record stream is bounded; the statistics are not.
+    assert tr.fault_counts == {"drop": 2, "retransmit": 1}
+
+
+def test_span_log_add_and_instant():
+    log = SpanLog()
+    log.add("rank", 3, "lock.hold", "lock", 100, 250,
+            args={"target": 1, "attempt": 2})
+    log.instant("nic", 0, "pkt", "nic", 400)
+    assert len(log) == 2
+    span, mark = log.spans
+    assert span == SpanRecord("rank", 3, "lock.hold", "lock", 100, 150,
+                              (("attempt", 2), ("target", 1)))
+    assert span.end_ns() == 250
+    assert mark.dur_ns == 0 and mark.start_ns == 400
+
+
+def test_span_log_clamps_negative_duration():
+    log = SpanLog()
+    log.add("rank", 0, "x", "c", 500, 400)
+    assert log.spans[0].dur_ns == 0
+
+
+def test_span_log_limit():
+    log = SpanLog(limit=3)
+    for i in range(10):
+        log.add("rank", 0, f"s{i}", "c", i, i + 1)
+    assert len(log) == 3
+    assert log.dropped == 7
+    assert [s.name for s in log.spans] == ["s0", "s1", "s2"]
 
 
 def test_op_counters():

@@ -46,6 +46,30 @@ def test_cli_unknown_figure():
     assert out.returncode != 0
 
 
+def test_cli_trace_writes_chrome_json(tmp_path):
+    path = tmp_path / "putget.json"
+    out = _cli("trace", "putget", "--seed", "11", "--out", str(path))
+    assert out.returncode == 0
+    assert str(path) in out.stdout
+    import json
+
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+    assert any(ev.get("name") == "dmapp.put" for ev in doc["traceEvents"])
+
+
+def test_cli_report():
+    out = _cli("report", "locks", "--seed", "2")
+    assert out.returncode == 0
+    assert "where simulated time goes (by span)" in out.stdout
+    assert "lock_hold_ns" in out.stdout
+
+
+def test_cli_trace_unknown_workload():
+    out = _cli("trace", "nosuch")
+    assert out.returncode != 0
+
+
 @pytest.mark.parametrize("script", [
     "quickstart.py", "dsde_demo.py", "performance_models.py",
 ])
