@@ -13,6 +13,11 @@ Commands
                     JSON file (open in Perfetto / chrome://tracing)
 ``report [wl]``     run a named workload and print the plain-text run
                     report (span aggregates, counters, histograms, links)
+``check <wl>``      run a named workload (or a ``.py`` example script)
+                    under the memory-model checker and report every RMA
+                    semantics violation; ``--perturb N`` sweeps N seeded
+                    schedule perturbations to manifest latent races
+                    (exit code 1 when violations are found)
 """
 
 from __future__ import annotations
@@ -153,6 +158,21 @@ def main(argv=None) -> int:
     r.add_argument("workload", nargs="?", default="putget")
     r.add_argument("--ranks", type=int, default=4)
     r.add_argument("--seed", type=int, default=None)
+    c = sub.add_parser("check")
+    c.add_argument("workload",
+                   help="named workload (racy_*/clean_*/putget/locks/"
+                        "fence/pscw) or path to a .py script to run "
+                        "under check_capture()")
+    c.add_argument("--ranks", type=int, default=4)
+    c.add_argument("--seed", type=int, default=None)
+    c.add_argument("--rpn", type=int, default=1,
+                   help="ranks per node (default 1)")
+    c.add_argument("--perturb", type=int, metavar="N", default=0,
+                   help="additionally rerun under N seeded schedule "
+                        "perturbations (latency jitter)")
+    c.add_argument("--jitter", action="store_true",
+                   help="perturb this single run (used by the printed "
+                        "reproducer commands)")
     args = ap.parse_args(argv)
 
     if args.cmd == "demo":
@@ -235,7 +255,56 @@ def main(argv=None) -> int:
             obs, title=f"{args.workload} ({args.ranks} ranks)",
             sim_time_ns=res.sim_time_ns,
             events_processed=res.events_processed))
+    elif args.cmd == "check":
+        return _check_cmd(args)
     return 0
+
+
+def _check_cmd(args) -> int:
+    """``repro check``: named workload or example script, optional
+    perturbation sweep.  Exit code 1 iff any violation was found."""
+    from repro.check.report import render_check_report
+
+    dirty = False
+    if args.workload.endswith(".py"):
+        # Run an arbitrary script (e.g. examples/*.py); every world it
+        # builds gets a checker via the capture block.
+        import runpy
+
+        from repro.check.core import check_capture
+
+        with check_capture() as checkers:
+            runpy.run_path(args.workload, run_name="__main__")
+        if not checkers:
+            print(f"{args.workload}: no simulated runs captured")
+            return 0
+        for i, ck in enumerate(checkers):
+            title = f"{args.workload} run {i}" if len(checkers) > 1 \
+                else args.workload
+            print(render_check_report(ck, title))
+            dirty |= not ck.clean
+        return 1 if dirty else 0
+
+    from repro.check.runner import check_workload
+
+    res, ck = check_workload(args.workload, nranks=args.ranks,
+                             seed=args.seed, ranks_per_node=args.rpn,
+                             jitter=args.jitter)
+    print(render_check_report(
+        ck, f"{args.workload} ({args.ranks} ranks, "
+            f"{res.sim_time_ns / 1e3:.1f} us simulated)"))
+    dirty |= not ck.clean
+    if args.perturb > 0:
+        from repro.check.perturb import perturb_sweep
+        from repro.check.report import render_perturb_report
+
+        sweep = perturb_sweep(args.workload, args.perturb,
+                              nranks=args.ranks, base_seed=args.seed,
+                              ranks_per_node=args.rpn)
+        print()
+        print(render_perturb_report(sweep))
+        dirty |= not sweep.clean
+    return 1 if dirty else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,549 @@
+"""The RMA memory-model checker: shadow accesses + vector-clock races.
+
+One :class:`RaceChecker` is attached to a
+:class:`~repro.runtime.world.World` when checking is enabled
+(``CheckConfig(enabled=True)`` or a live :func:`check_capture` block).
+Every protocol-layer hook is behind a single ``checker is None`` test,
+so disabled runs execute the exact pre-checker code path; recording
+itself is pure host-side bookkeeping (list appends, dict updates,
+vector-clock arithmetic) that never schedules events or draws random
+numbers, so enabled runs are bit-identical too -- the test suite asserts
+both.
+
+How it works
+------------
+
+**Synchronization** feeds the vector-clock engine
+(:mod:`repro.check.vclock`):
+
+* collectives (and the barrier inside every fence) deposit at entry and
+  merge the deposits present at exit -- exact for dissemination/
+  recursive-doubling patterns, a sound under-approximation of a full
+  barrier for rooted trees (never creates a false happens-before edge);
+* lock/unlock and lock_all/unlock_all implement reader-writer release
+  clocks: an exclusive acquire is ordered after all prior releases, a
+  shared acquire after prior *exclusive* releases only;
+* PSCW post/complete deposit per exposure/access peer, start/wait merge
+  (matching the matching-list protocol's message flow);
+* flush / unlock / complete / fence advance the per-``(rank, window)``
+  *operation sequence* that orders same-origin nonblocking operations.
+
+**Accesses** are shadow-recorded per ``(window, target rank)`` as byte
+ranges (one range per contiguous datatype block, so interleaving-but-
+disjoint strided types never alias).  On insertion each record is
+compared against the live records for the same location; pairs that are
+neither happens-before-ordered nor permitted-concurrent become
+:class:`Violation` findings.  Full barriers prune records that can no
+longer race with anything in the future, bounding memory.
+
+**Classification** follows the paper's Section 4 / MPI-3 Section 11.7:
+
+=====================  ==================================================
+``put-put``            two concurrent remote writes overlap
+``put-get``            a concurrent remote write overlaps a remote read
+``accumulate-op-mix``  concurrent accumulates with different operations
+                       (atomicity is only guaranteed for same-op)
+``atomic-nonatomic``   an accumulate-family op concurrent with a plain
+                       put/get on the same bytes
+``local-remote``       a target-side local load/store concurrent with a
+                       remote access (separate memory model)
+``same-origin``        one origin's own operations overlap without an
+                       ordering call (flush/unlock/complete/fence)
+=====================  ==================================================
+
+Permitted concurrency: read-read, same-op accumulates (or ``NO_OP``),
+and same-origin accumulates (MPI's default accumulate ordering).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.check.vclock import VectorClock
+
+__all__ = ["Access", "Violation", "RaceChecker", "check_capture",
+           "active_check_capture"]
+
+#: Access kinds that only read target memory.
+_READ_KINDS = frozenset({"get", "local_load"})
+#: Access kinds in the accumulate family (element-wise atomic).
+_ACC_KINDS = frozenset({"acc", "get_acc", "fao", "cas"})
+#: Access kinds executed by the target itself (local CPU accesses).
+_LOCAL_KINDS = frozenset({"local_load", "local_store"})
+
+
+@dataclass
+class Access:
+    """One shadow-recorded window access."""
+
+    rank: int                      # issuing rank (origin, or target-local)
+    kind: str                      # put|get|acc|get_acc|fao|cas|local_*
+    op: str | None                 # accumulate operation name, or None
+    win_id: int
+    target: int                    # rank whose window memory is touched
+    ranges: tuple[tuple[int, int], ...]   # [lo, hi) byte ranges
+    oseq: int                      # same-origin operation-sequence number
+    clock: VectorClock             # issuing rank's clock at issue time
+    t_ns: int                      # simulated issue time
+    epoch: str                     # epoch context label
+    path: str = ""                 # accumulate path tag ("hw"/"sw")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in _READ_KINDS or (
+            self.kind in _ACC_KINDS and self.op == "no_op")
+
+    @property
+    def is_acc(self) -> bool:
+        return self.kind in _ACC_KINDS
+
+    @property
+    def is_local(self) -> bool:
+        return self.kind in _LOCAL_KINDS
+
+    def describe(self) -> str:
+        op = f" {self.op}" if self.op else ""
+        path = f"/{self.path}" if self.path else ""
+        spans = ",".join(f"[{lo},{hi})" for lo, hi in self.ranges[:3])
+        more = "..." if len(self.ranges) > 3 else ""
+        return (f"{self.kind}{op}{path} by rank {self.rank} at "
+                f"{self.t_ns} ns (epoch {self.epoch}, seq {self.oseq}) "
+                f"bytes {spans}{more}")
+
+
+@dataclass
+class Violation:
+    """One conflicting-access pair (deduplicated; ``count`` repeats)."""
+
+    kind: str
+    win_id: int
+    target: int
+    lo: int                        # first overlapping byte range seen
+    hi: int
+    first: Access
+    second: Access
+    count: int = 1
+    seed: int | None = None        # reproducer seed (perturbation sweeps)
+
+    def describe(self) -> str:
+        rep = f"  [reproduce with --seed {self.seed}]" if (
+            self.seed is not None) else ""
+        times = f" (x{self.count})" if self.count > 1 else ""
+        return (f"race[{self.kind}] win {self.win_id} @ rank {self.target}"
+                f" bytes [{self.lo},{self.hi}){times}:\n"
+                f"    {self.first.describe()}\n"
+                f"    {self.second.describe()}{rep}")
+
+
+@dataclass
+class _CollSlot:
+    """One collective instance: merged deposits + participation counts."""
+
+    acc: VectorClock
+    entered: int = 0
+    exited: int = 0
+
+
+@dataclass
+class _LockSync:
+    """Release clocks of one (window, target) lock word."""
+
+    write_release: VectorClock
+    read_release: VectorClock
+
+
+@dataclass
+class _Shadow:
+    """Live access records for one (window, target) location."""
+
+    records: list = field(default_factory=list)
+
+
+class RaceChecker:
+    """Vector-clock race detection for one simulated run."""
+
+    def __init__(self, nranks: int, config: Any = None,
+                 obs: Any = None) -> None:
+        from repro.config import CheckConfig
+
+        self.nranks = nranks
+        self.config = config or CheckConfig(enabled=True)
+        self.obs = obs
+        self.clocks = [VectorClock(nranks, r) for r in range(nranks)]
+        self.violations: list[Violation] = []
+        self._sigs: dict[tuple, Violation] = {}
+        # Synchronization-object state:
+        self._coll_seq = [0] * nranks
+        self._coll: dict[int, _CollSlot] = {}
+        self._locks: dict[tuple[int, int], _LockSync] = {}
+        self._pscw_post: dict[tuple, deque] = {}
+        self._pscw_done: dict[tuple, deque] = {}
+        self._oseq: dict[tuple[int, int], int] = {}
+        # Shadow store:
+        self._shadow: dict[tuple[int, int], _Shadow] = {}
+        self.nrecords = 0
+        self.pruned = 0
+        self.truncated = False
+        self.accesses_seen = 0
+        # Target-side attribution context (set by Window.local_load/store
+        # around the Segment access so the watch hook can attribute it).
+        self._local: tuple | None = None
+        self.transport_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # vector-clock primitives
+    # ------------------------------------------------------------------
+    def _deposit(self, rank: int) -> VectorClock:
+        """Release: tick own component, publish a copy."""
+        clock = self.clocks[rank]
+        clock.tick(rank)
+        return clock.copy()
+
+    def _acquire(self, rank: int, vc: VectorClock | None) -> None:
+        """Acquire: merge a published clock, tick own component."""
+        clock = self.clocks[rank]
+        if vc is not None:
+            clock.merge(vc)
+        clock.tick(rank)
+
+    def _bump_oseq(self, rank: int, win_id: int) -> None:
+        key = (rank, win_id)
+        self._oseq[key] = self._oseq.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # synchronization hooks (called by the protocol layers)
+    # ------------------------------------------------------------------
+    def coll_enter(self, rank: int) -> int:
+        """A collective call starts on ``rank``; returns its instance id.
+
+        MPI requires every rank to issue collectives in the same order,
+        so per-rank sequence counters identify the instance."""
+        seq = self._coll_seq[rank]
+        self._coll_seq[rank] = seq + 1
+        slot = self._coll.get(seq)
+        if slot is None:
+            slot = self._coll[seq] = _CollSlot(VectorClock(self.nranks))
+        slot.acc.merge(self._deposit(rank))
+        slot.entered += 1
+        return seq
+
+    def coll_exit(self, rank: int, seq: int) -> None:
+        """The collective returns on ``rank``: merge deposits present.
+
+        Every true message edge inside the collective implies its sender
+        deposited before this hook runs (event order), so merging the
+        accumulated clock never invents a happens-before edge."""
+        slot = self._coll[seq]
+        self._acquire(rank, slot.acc)
+        slot.exited += 1
+        if slot.exited == self.nranks:
+            # A completed full collective is a global ordering point:
+            # records everyone already knows about can never race again.
+            self._prune(slot.acc)
+            del self._coll[seq]
+
+    def on_fence(self, win) -> None:
+        """Fence completes all of this origin's operations (the ordering
+        itself comes from the barrier inside the fence)."""
+        self._bump_oseq(win.rank, win.win_id)
+
+    def on_flush(self, win) -> None:
+        """Remote completion: later same-origin ops are ordered after
+        earlier ones.  (``flush_local`` completes only locally and does
+        NOT order target-side effects, so it has no hook.)"""
+        self._bump_oseq(win.rank, win.win_id)
+
+    def lock_acquired(self, win, target: int, exclusive: bool) -> None:
+        sync = self._locks.get((win.win_id, target))
+        vc: VectorClock | None = None
+        if sync is not None:
+            vc = sync.write_release.copy()
+            if exclusive:
+                vc.merge(sync.read_release)
+        self._acquire(win.rank, vc)
+
+    def lock_released(self, win, target: int, exclusive: bool) -> None:
+        vc = self._deposit(win.rank)
+        sync = self._locks.get((win.win_id, target))
+        if sync is None:
+            sync = self._locks[(win.win_id, target)] = _LockSync(
+                VectorClock(self.nranks), VectorClock(self.nranks))
+        (sync.write_release if exclusive else sync.read_release).merge(vc)
+        self._bump_oseq(win.rank, win.win_id)  # unlock completes ops
+
+    def lock_all_acquired(self, win) -> None:
+        merged: VectorClock | None = None
+        for t in range(self.nranks):
+            sync = self._locks.get((win.win_id, t))
+            if sync is not None:
+                if merged is None:
+                    merged = sync.write_release.copy()
+                else:
+                    merged.merge(sync.write_release)
+        self._acquire(win.rank, merged)
+
+    def lock_all_released(self, win) -> None:
+        vc = self._deposit(win.rank)
+        for t in range(self.nranks):
+            sync = self._locks.get((win.win_id, t))
+            if sync is None:
+                sync = self._locks[(win.win_id, t)] = _LockSync(
+                    VectorClock(self.nranks), VectorClock(self.nranks))
+            sync.read_release.merge(vc)
+        self._bump_oseq(win.rank, win.win_id)
+
+    def pscw_post(self, win, group) -> None:
+        """Deposited at post() entry -- before the matching-list appends
+        the peers' start() will observe."""
+        vc = self._deposit(win.rank)
+        for j in group:
+            self._pscw_post.setdefault(
+                (win.win_id, j, win.rank), deque()).append(vc)
+
+    def pscw_start(self, win, group) -> None:
+        """Merged at start() exit, one deposit per matched poster."""
+        merged: VectorClock | None = None
+        for r in group:
+            dq = self._pscw_post.get((win.win_id, win.rank, r))
+            if dq:
+                vc = dq.popleft()
+                if merged is None:
+                    merged = vc.copy()
+                else:
+                    merged.merge(vc)
+        self._acquire(win.rank, merged)
+
+    def pscw_complete(self, win, group) -> None:
+        """Deposited at complete() entry -- before the completion-counter
+        AMOs the peers' wait() will observe."""
+        vc = self._deposit(win.rank)
+        for j in group:
+            self._pscw_done.setdefault(
+                (win.win_id, j, win.rank), deque()).append(vc)
+        self._bump_oseq(win.rank, win.win_id)
+
+    def pscw_wait(self, win, origins) -> None:
+        """Merged at wait() exit, one deposit per access-epoch origin."""
+        merged: VectorClock | None = None
+        for r in origins:
+            dq = self._pscw_done.get((win.win_id, win.rank, r))
+            if dq:
+                vc = dq.popleft()
+                if merged is None:
+                    merged = vc.copy()
+                else:
+                    merged.merge(vc)
+        self._acquire(win.rank, merged)
+
+    # ------------------------------------------------------------------
+    # access hooks
+    # ------------------------------------------------------------------
+    def note_op(self, win, kind: str, target: int,
+                ranges, *, op: str | None = None, path: str = "") -> None:
+        """Record one origin-side communication call (put/get/atomics)."""
+        from repro.check import epochs
+
+        self.accesses_seen += 1
+        if self.truncated:
+            return
+        rank = win.rank
+        rec = Access(
+            rank=rank, kind=kind, op=op, win_id=win.win_id, target=target,
+            ranges=tuple((int(lo), int(hi)) for lo, hi in ranges),
+            oseq=self._oseq.get((rank, win.win_id), 0),
+            clock=self.clocks[rank].copy(), t_ns=win.ctx.now,
+            epoch=epochs.epoch_context(win), path=path)
+        self._insert(rec)
+
+    def watch_segment(self, win, seg, base: int) -> None:
+        """Install the address-space watch funnel on a window segment.
+
+        The watch fires for *every* read/write of the segment, including
+        remote XPMEM copies and DMAPP delivery-time stores -- those run
+        with no attribution context and are ignored (they were already
+        recorded origin-side).  Only accesses bracketed by
+        :meth:`local_attribution` are recorded as target-local."""
+        if seg.watch is None:
+            seg.watch = self._seg_access
+
+    @contextmanager
+    def local_attribution(self, win, rank: int, base: int) -> Iterator[None]:
+        self._local = (win, rank, base)
+        try:
+            yield
+        finally:
+            self._local = None
+
+    def _seg_access(self, kind: str, offset: int, nbytes: int) -> None:
+        """Segment watch callback (see :class:`repro.mem.address_space.
+        Segment`)."""
+        loc = self._local
+        if loc is None or not self.config.track_local:
+            return
+        win, rank, base = loc
+        from repro.check import epochs
+
+        self.accesses_seen += 1
+        if self.truncated:
+            return
+        lo = offset - base
+        rec = Access(
+            rank=rank, kind=f"local_{kind}", op=None, win_id=win.win_id,
+            target=rank, ranges=((lo, lo + nbytes),),
+            oseq=self._oseq.get((rank, win.win_id), 0),
+            clock=self.clocks[rank].copy(), t_ns=win.ctx.now,
+            epoch=epochs.epoch_context(win))
+        self._insert(rec)
+
+    def note_transport(self, rank: int, kind: str, nbytes: int) -> None:
+        """Transport-level tally (XPMEM copies); report colour only."""
+        self.transport_counts[kind] = self.transport_counts.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # shadow store + classification
+    # ------------------------------------------------------------------
+    def _insert(self, rec: Access) -> None:
+        shadow = self._shadow.get((rec.win_id, rec.target))
+        if shadow is None:
+            shadow = self._shadow[(rec.win_id, rec.target)] = _Shadow()
+        for old in shadow.records:
+            if not _overlaps(old.ranges, rec.ranges):
+                continue
+            if _ordered(old, rec):
+                continue
+            kind = _classify(old, rec)
+            if kind is not None:
+                self._report(kind, old, rec)
+        if self.nrecords >= self.config.max_records:
+            self.truncated = True
+            return
+        shadow.records.append(rec)
+        self.nrecords += 1
+
+    def _report(self, kind: str, old: Access, new: Access) -> None:
+        sig = (kind, new.win_id, new.target, old.rank, new.rank,
+               old.kind, new.kind, old.op, new.op)
+        hit = self._sigs.get(sig)
+        if hit is not None:
+            hit.count += 1
+            return
+        lo, hi = _first_overlap(old.ranges, new.ranges)
+        v = Violation(kind=kind, win_id=new.win_id, target=new.target,
+                      lo=lo, hi=hi, first=old, second=new)
+        self._sigs[sig] = v
+        self.violations.append(v)
+        obs = self.obs
+        if obs is not None:
+            # Violations double as trace instants so Perfetto timelines
+            # show where in the schedule each race was observed.
+            obs.rank_instant(new.rank, f"race.{kind}", new.t_ns,
+                             cat="check",
+                             args={"win": new.win_id, "target": new.target,
+                                   "peer": old.rank, "lo": lo, "hi": hi})
+            obs.metrics.count("check.violations", new.rank)
+
+    def _prune(self, acc: VectorClock) -> None:
+        """Drop records ordered before a completed full collective."""
+        for shadow in self._shadow.values():
+            keep = [r for r in shadow.records if not r.clock.leq(acc)]
+            self.pruned += len(shadow.records) - len(keep)
+            shadow.records = keep
+        self.nrecords = sum(len(s.records) for s in self._shadow.values())
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def stats_snapshot(self) -> dict:
+        by_kind: dict[str, int] = {}
+        for v in self.violations:
+            by_kind[v.kind] = by_kind.get(v.kind, 0) + v.count
+        return {
+            "violations": sum(v.count for v in self.violations),
+            "unique": len(self.violations),
+            "by_kind": dict(sorted(by_kind.items())),
+            "accesses": self.accesses_seen,
+            "live_records": self.nrecords,
+            "pruned_records": self.pruned,
+            "truncated": self.truncated,
+        }
+
+
+# -- pair predicates -----------------------------------------------------
+def _overlaps(a: tuple, b: tuple) -> bool:
+    return any(lo1 < hi2 and lo2 < hi1
+               for lo1, hi1 in a for lo2, hi2 in b)
+
+
+def _first_overlap(a: tuple, b: tuple) -> tuple[int, int]:
+    for lo1, hi1 in a:
+        for lo2, hi2 in b:
+            if lo1 < hi2 and lo2 < hi1:
+                return max(lo1, lo2), min(hi1, hi2)
+    return 0, 0  # pragma: no cover - caller guarantees an overlap
+
+
+def _ordered(old: Access, new: Access) -> bool:
+    """Is ``old`` ordered before ``new`` (recorded later in event order)?"""
+    if old.rank == new.rank:
+        if old.oseq != new.oseq:
+            return True             # a flush/unlock/complete/fence between
+        # MPI's default accumulate ordering: same-origin accumulates to
+        # the same location are ordered even without completion calls.
+        return old.is_acc and new.is_acc
+    return old.clock[old.rank] <= new.clock[old.rank]
+
+
+def _classify(old: Access, new: Access) -> str | None:
+    """Violation kind for a concurrent overlapping pair, or None."""
+    if old.is_read and new.is_read:
+        return None
+    if old.is_acc and new.is_acc:
+        if old.op == new.op or old.op == "no_op" or new.op == "no_op":
+            return None             # same-op (or NO_OP) atomics compose
+        return "accumulate-op-mix"
+    if old.is_local != new.is_local:
+        return "local-remote"
+    if old.is_acc or new.is_acc:
+        return "atomic-nonatomic"
+    if old.rank == new.rank:
+        return "same-origin"
+    if not old.is_read and not new.is_read:
+        return "put-put"
+    return "put-get"
+
+
+# -- capture override ----------------------------------------------------
+_CAPTURE: list[RaceChecker] | None = None
+
+
+def active_check_capture() -> list[RaceChecker] | None:
+    """The live checker-capture sink, or None (consulted by World
+    construction, mirroring :func:`repro.obs.core.active_capture`)."""
+    return _CAPTURE
+
+
+@contextmanager
+def check_capture() -> Iterator[list[RaceChecker]]:
+    """Attach a checker to every world built inside the block.
+
+    This is how ``repro check path/to/example.py`` instruments example
+    scripts that call :func:`~repro.runtime.job.run_spmd` themselves:
+    the script runs unmodified and every run's checker lands in the
+    sink.  Nested captures keep the outer sink."""
+    global _CAPTURE
+    if _CAPTURE is not None:
+        yield _CAPTURE
+        return
+    sink: list[RaceChecker] = []
+    _CAPTURE = sink
+    try:
+        yield sink
+    finally:
+        _CAPTURE = None

@@ -1,0 +1,72 @@
+"""Epoch-state rules for MPI-3 RMA windows (paper Section 4).
+
+This module is the single home of the "which calls are legal in which
+epoch" rules that used to live as ad-hoc asserts inside
+:mod:`repro.rma.window`.  Two consumers share it:
+
+* the **always-on subset**: :func:`require_access` and
+  :func:`require_flush` are called from every communication call and
+  raise :class:`~repro.errors.EpochError` on misuse -- cheap comparisons
+  only, enabled whether or not the checker is attached (the pre-checker
+  behaviour, consolidated);
+* the **checker**: :class:`repro.check.core.RaceChecker` tags every
+  shadow access record with :func:`epoch_context` so violation reports
+  name the epoch each conflicting access executed under.
+
+The rules (MPI-3.0 Section 11.5, reproduced as the paper's Section 4
+semantics):
+
+* RMA communication calls require an open *access* epoch: after a
+  fence, between start/complete (restricted to the PSCW access group),
+  or between lock/unlock (restricted to locked targets) /
+  lock_all/unlock_all.
+* ``flush`` and friends require a *passive or active* epoch to flush.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EpochError
+
+__all__ = ["require_access", "require_flush", "epoch_context",
+           "FLUSH_MODES"]
+
+#: Epoch modes in which the flush family is defined.  foMPI implements
+#: flush as bulk completion (gsync), which is meaningful inside any
+#: epoch; MPI only *requires* it in passive-target epochs.
+FLUSH_MODES = ("lock", "lock_all", "fence", "pscw")
+
+
+def require_access(win, target: int) -> None:
+    """Raise :class:`EpochError` unless ``win`` may communicate with
+    ``target`` right now (open access epoch covering the target)."""
+    mode = win.epoch_access
+    if mode is None:
+        raise EpochError(
+            f"rank {win.rank}: RMA communication to {target} outside "
+            "any access epoch")
+    if mode == "pscw" and target not in win.pscw_state.access_group:
+        raise EpochError(
+            f"rank {win.rank}: target {target} not in the PSCW access "
+            f"group {sorted(win.pscw_state.access_group)}")
+    if mode == "lock" and target not in win.lock_state.held:
+        raise EpochError(
+            f"rank {win.rank}: target {target} not locked "
+            f"(locked: {sorted(win.lock_state.held)})")
+
+
+def require_flush(win) -> None:
+    """Raise :class:`EpochError` unless a flush is legal right now."""
+    if win.epoch_access not in FLUSH_MODES:
+        raise EpochError("flush outside a passive/active epoch")
+
+
+def epoch_context(win) -> str:
+    """Human-readable epoch label for violation reports."""
+    mode = win.epoch_access
+    if mode is None:
+        return "exposure:pscw" if win.epoch_exposure == "pscw" else "none"
+    if mode == "lock":
+        held = ",".join(f"{t}:{lt.name.lower()}"
+                        for t, lt in sorted(win.lock_state.held.items()))
+        return f"lock({held})"
+    return mode

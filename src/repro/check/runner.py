@@ -1,0 +1,66 @@
+"""Drivers that run programs/workloads under the memory-model checker."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.check.core import RaceChecker
+from repro.config import (
+    CheckConfig,
+    FaultConfig,
+    FaultPlan,
+    MachineConfig,
+    RunResult,
+    SimConfig,
+)
+
+__all__ = ["run_checked", "check_workload", "JITTER_PROB", "JITTER_DELAY_NS"]
+
+#: Schedule-perturbation knobs (the ``--perturb`` / ``--jitter`` modes):
+#: per-packet latency spikes reusing the repro.faults delay machinery.
+#: Deterministic per seed -- a finding's reproducer seed replays exactly.
+JITTER_PROB = 0.25
+JITTER_DELAY_NS = 5_000
+
+
+def run_checked(program: Callable[..., Any], nranks: int = 4, *,
+                seed: int | None = None, ranks_per_node: int = 1,
+                jitter: bool = False,
+                **kwargs: Any) -> tuple[RunResult, RaceChecker]:
+    """Run ``program`` with the checker attached.
+
+    ``jitter=True`` additionally perturbs the schedule with seeded
+    per-packet latency spikes so latent (schedule-dependent) races get a
+    chance to manifest; the seed fully determines the perturbation.
+    """
+    from repro.runtime.job import run_spmd
+
+    sim = SimConfig() if seed is None else SimConfig(seed=seed)
+    faults = None
+    if jitter:
+        faults = FaultConfig(plan=FaultPlan(delay_prob=JITTER_PROB,
+                                            delay_ns=JITTER_DELAY_NS))
+    res = run_spmd(program, nranks,
+                   machine=MachineConfig(ranks_per_node=ranks_per_node),
+                   sim=sim, faults=faults,
+                   check=CheckConfig(enabled=True), **kwargs)
+    assert isinstance(res.check, RaceChecker)
+    return res, res.check
+
+
+def check_workload(name: str, nranks: int = 4, *, seed: int | None = None,
+                   ranks_per_node: int = 1, jitter: bool = False,
+                   **kwargs: Any) -> tuple[RunResult, RaceChecker]:
+    """Run one named demo workload (see :data:`repro.check.workloads.
+    CHECK_WORKLOADS`) under the checker."""
+    from repro.check.workloads import CHECK_WORKLOADS
+
+    try:
+        program = CHECK_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(CHECK_WORKLOADS)}") from None
+    return run_checked(program, nranks, seed=seed,
+                       ranks_per_node=ranks_per_node, jitter=jitter,
+                       **kwargs)

@@ -1,0 +1,234 @@
+"""Demo workloads for ``repro check``: seeded races + clean controls.
+
+Each ``racy_*`` program contains exactly one deliberate violation of the
+paper's Section 4 access rules, and :data:`RACY_EXPECT` records the
+violation class the checker must report for it -- the test suite runs
+every entry and asserts both the class and the conflicting-access pair.
+The ``clean_*`` programs are near-identical twins with the bug fixed
+(disjoint ranges, same-op atomics, proper synchronization), and the four
+obs demo workloads (putget/locks/fence/pscw) are re-exported so the CI
+check job sweeps them too.
+
+``racy_latent`` is the schedule-sensitive one: on the unperturbed
+schedule every rank's measured flush latency stays under the threshold
+and all writes land in private slots (zero violations); under
+``--perturb`` the seeded latency spikes push some rank over the
+threshold, its put aliases the shared slot everyone reads, and the race
+manifests -- with the reproducer seed printed per finding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs.workloads import WORKLOADS as _OBS_WORKLOADS
+from repro.rma.datatypes import BYTE, Vector
+from repro.rma.enums import LockType, Op
+
+__all__ = ["CHECK_WORKLOADS", "RACY_EXPECT", "LATENT_THRESHOLD_NS"]
+
+#: ``racy_latent``'s slow-path threshold: safely above the unperturbed
+#: get+flush latency at small rank counts (~1.9 us measured), safely
+#: below it plus one injected delay spike (+5 us per delayed packet).
+LATENT_THRESHOLD_NS = 3_500
+
+
+def racy_put_put(ctx):
+    """Every rank puts to the SAME 8 bytes of rank 0 under lock_all
+    (shared -- no mutual exclusion): concurrent conflicting writes."""
+    win = yield from ctx.rma.win_allocate(64)
+    yield from win.lock_all()
+    data = np.full(8, ctx.rank + 1, np.uint8)
+    yield from win.put(data, 0, 0)
+    yield from win.flush(0)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def clean_put_put(ctx):
+    """The fixed twin: each rank writes its OWN 8-byte slot."""
+    win = yield from ctx.rma.win_allocate(8 * ctx.nranks)
+    yield from win.lock_all()
+    data = np.full(8, ctx.rank + 1, np.uint8)
+    yield from win.put(data, 0, 8 * ctx.rank)
+    yield from win.flush(0)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def racy_acc_mix(ctx):
+    """Concurrent accumulates with DIFFERENT ops on one location: MPI
+    only guarantees atomicity for same-op (or NO_OP) accumulates."""
+    win = yield from ctx.rma.win_allocate(8, disp_unit=8)
+    yield from win.fence()
+    op = Op.SUM if ctx.rank % 2 == 0 else Op.REPLACE
+    yield from win.accumulate(np.int64(1), 0, 0, op)
+    yield from win.fence(no_succeed=True)
+    yield from win.free()
+    return ctx.now
+
+
+def clean_acc_sum(ctx):
+    """The fixed twin: everyone uses SUM -- permitted-concurrent."""
+    win = yield from ctx.rma.win_allocate(8, disp_unit=8)
+    yield from win.fence()
+    yield from win.accumulate(np.int64(1), 0, 0, Op.SUM)
+    yield from win.fence(no_succeed=True)
+    yield from win.free()
+    return ctx.now
+
+
+def racy_atomic_nonatomic(ctx):
+    """A plain put overlapping a fetch-and-op on the same 8 bytes:
+    atomics do not compose with non-atomic accesses."""
+    win = yield from ctx.rma.win_allocate(8, disp_unit=8)
+    yield from win.lock_all()
+    if ctx.rank == 0:
+        yield from win.put(np.full(8, 1, np.uint8), 0, 0)
+    else:
+        yield from win.fetch_and_op(np.int64(1), 0, 0, Op.SUM)
+    yield from win.flush(0)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def racy_local(ctx):
+    """Separate memory model: rank 0 polls its window with local loads
+    while rank 1 puts into it -- no synchronization between them."""
+    win = yield from ctx.rma.win_allocate(8)
+    yield from ctx.coll.barrier()
+    if ctx.rank == 0:
+        for _ in range(4):
+            win.local_load(8)
+            yield from ctx.compute(2_000)
+    elif ctx.rank == 1:
+        yield from win.lock(0)
+        yield from win.put(np.full(8, 7, np.uint8), 0, 0)
+        yield from win.unlock(0)
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def clean_local(ctx):
+    """The fixed twin: rank 0 only reads its window AFTER the exclusive
+    lock/unlock pair of the writer (release via the lock word)."""
+    win = yield from ctx.rma.win_allocate(8)
+    yield from ctx.coll.barrier()
+    if ctx.rank == 1:
+        yield from win.lock(0, LockType.EXCLUSIVE)
+        yield from win.put(np.full(8, 7, np.uint8), 0, 0)
+        yield from win.unlock(0)
+    yield from ctx.coll.barrier()
+    if ctx.rank == 0:
+        win.local_load(8)
+    yield from win.free()
+    return ctx.now
+
+
+def racy_same_origin(ctx):
+    """One origin overwrites its own un-completed put (no flush between
+    two puts to the same target bytes): unordered same-origin conflict."""
+    win = yield from ctx.rma.win_allocate(8)
+    yield from win.lock_all()
+    if ctx.rank == 1 % ctx.nranks:
+        yield from win.put(np.full(8, 1, np.uint8), 0, 0)
+        yield from win.put(np.full(8, 2, np.uint8), 0, 0)
+    yield from win.flush(0)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def clean_same_origin(ctx):
+    """The fixed twin: a flush between the two puts orders them."""
+    win = yield from ctx.rma.win_allocate(8)
+    yield from win.lock_all()
+    if ctx.rank == 1 % ctx.nranks:
+        yield from win.put(np.full(8, 1, np.uint8), 0, 0)
+        yield from win.flush(0)
+        yield from win.put(np.full(8, 2, np.uint8), 0, 0)
+    yield from win.flush(0)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def clean_strided(ctx):
+    """Interleaving-but-disjoint vector datatypes are NOT races: rank 1
+    writes the even 8-byte lanes, rank 2 the odd lanes, concurrently."""
+    lanes = 8
+    win = yield from ctx.rma.win_allocate(16 * lanes)
+    yield from win.lock_all()
+    # Every-other-lane vector: `lanes` blocks of 8 bytes, stride 16.
+    vec = Vector(lanes, 8, 16, BYTE)
+    data = np.full(8 * lanes, ctx.rank, np.uint8)
+    if ctx.rank == 1 % ctx.nranks:
+        yield from win.put(data, 0, 0, target_datatype=vec, count=1)
+    elif ctx.rank == 2 % ctx.nranks:
+        yield from win.put(data, 0, 8, target_datatype=vec, count=1)
+    yield from win.flush(0)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def racy_latent(ctx, threshold_ns: int = LATENT_THRESHOLD_NS):
+    """Latency-dependent aliasing: a rank whose measured get+flush time
+    exceeds ``threshold_ns`` reports into the shared slot 0 that every
+    rank reads -- racy only when the schedule actually produces a slow
+    flush (i.e. under ``--perturb``)."""
+    win = yield from ctx.rma.win_allocate(8 * (ctx.nranks + 1))
+    yield from win.lock_all()
+    out = np.empty(8, np.uint8)
+    t0 = ctx.now
+    yield from win.get(out, 0, 0)
+    yield from win.flush(0)
+    slow = (ctx.now - t0) > threshold_ns
+    slot = 0 if slow else 8 * (1 + ctx.rank)
+    yield from win.put(np.full(8, ctx.rank, np.uint8), 0, slot)
+    yield from win.flush(0)
+    yield from win.unlock_all()
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return int(slow)
+
+
+#: Every workload ``repro check`` accepts by name: the racy demos, their
+#: clean twins, and the four obs demo workloads.
+CHECK_WORKLOADS: dict[str, Callable[..., Any]] = {
+    "racy_put_put": racy_put_put,
+    "racy_acc_mix": racy_acc_mix,
+    "racy_atomic_nonatomic": racy_atomic_nonatomic,
+    "racy_local": racy_local,
+    "racy_same_origin": racy_same_origin,
+    "racy_latent": racy_latent,
+    "clean_put_put": clean_put_put,
+    "clean_acc_sum": clean_acc_sum,
+    "clean_local": clean_local,
+    "clean_same_origin": clean_same_origin,
+    "clean_strided": clean_strided,
+    **_OBS_WORKLOADS,
+}
+
+#: Violation class the checker must report for each racy demo on its
+#: default schedule.  ``racy_latent`` is absent on purpose: it is clean
+#: unperturbed and manifests as ``put-get`` only under --perturb.
+RACY_EXPECT: dict[str, str] = {
+    "racy_put_put": "put-put",
+    "racy_acc_mix": "accumulate-op-mix",
+    "racy_atomic_nonatomic": "atomic-nonatomic",
+    "racy_local": "local-remote",
+    "racy_same_origin": "same-origin",
+}

@@ -122,6 +122,41 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class CheckConfig:
+    """Memory-model checker (vector-clock race detection) switches.
+
+    When ``enabled`` is False -- the default -- no checker is constructed
+    and every protocol-layer hook reduces to one ``is None`` test:
+    schedules are bit-identical to pre-checker code.  Recording itself is
+    pure observation (list appends, dict updates and vector-clock
+    arithmetic on the simulated clock; nothing is ever scheduled), so
+    enabling it does not perturb schedules either.
+
+    Attributes
+    ----------
+    enabled:
+        Attach a :class:`~repro.check.core.RaceChecker` to the run
+        (exposed as ``RunResult.check``).
+    max_records:
+        Cap on live shadow access records.  Past it, recording stops and
+        the run is flagged ``truncated`` instead of growing without
+        bound; full barriers prune records that can no longer race.
+    track_local:
+        Record target-side local loads/stores issued through
+        ``Window.local_load`` / ``Window.local_store`` (the separate
+        memory model's local/remote conflict class).
+    """
+
+    enabled: bool = False
+    max_records: int = 200_000
+    track_local: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_records < 0:
+            raise ValueError(f"max_records={self.max_records} is negative")
+
+
+@dataclass(frozen=True)
 class NicStall:
     """The NIC of ``node`` freezes for ``[start_ns, start_ns+duration_ns)``:
     nothing injects from or is serviced at that node during the window."""
@@ -329,8 +364,11 @@ class RunResult:
 
     ``obs`` is the run's :class:`~repro.obs.core.Instrumentation` when
     observability was enabled (span timeline + metrics registry), else
-    None.  It is deliberately not folded into ``stats`` -- the stats dict
-    stays plain JSON-ready data.
+    None.  ``check`` is the run's :class:`~repro.check.core.RaceChecker`
+    when memory-model checking was enabled (shadow accesses + violation
+    list), else None.  Neither is folded into ``stats`` -- the stats dict
+    stays plain JSON-ready data (checker counters appear there under the
+    ``"check"`` key).
     """
 
     returns: list
@@ -338,3 +376,4 @@ class RunResult:
     events_processed: int
     stats: dict = field(default_factory=dict)
     obs: object | None = None
+    check: object | None = None

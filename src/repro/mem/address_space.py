@@ -22,7 +22,8 @@ MMAP_REGION_HI = 0x7000_0000_0000
 class Segment:
     """A contiguous byte range of one rank's memory."""
 
-    __slots__ = ("rank", "seg_id", "vaddr", "buf", "alive", "label")
+    __slots__ = ("rank", "seg_id", "vaddr", "buf", "alive", "label",
+                 "watch")
 
     def __init__(self, rank: int, seg_id: int, vaddr: int, size: int,
                  label: str = "") -> None:
@@ -34,6 +35,10 @@ class Segment:
         self.buf = np.zeros(size, dtype=np.uint8)
         self.alive = True
         self.label = label
+        # Optional access funnel installed by the memory-model checker
+        # (repro.check): called as watch(kind, offset, nbytes) on every
+        # read()/write().  None in normal runs -- one branch of overhead.
+        self.watch = None
 
     @property
     def size(self) -> int:
@@ -50,6 +55,8 @@ class Segment:
     def read(self, offset: int, nbytes: int) -> np.ndarray:
         """A *copy* of ``nbytes`` bytes at ``offset``."""
         self._check(offset, nbytes)
+        if self.watch is not None:
+            self.watch("load", offset, nbytes)
         return self.buf[offset:offset + nbytes].copy()
 
     def view(self, offset: int, nbytes: int) -> np.ndarray:
@@ -63,6 +70,8 @@ class Segment:
         else:
             arr = np.asarray(data, dtype=np.uint8).ravel()
         self._check(offset, arr.size)
+        if self.watch is not None:
+            self.watch("store", offset, arr.size)
         self.buf[offset:offset + arr.size] = arr
 
     def typed(self, dtype, offset: int = 0, count: int | None = None) -> np.ndarray:

@@ -26,7 +26,8 @@ from repro.mem.atomic import SegmentCells
 from repro.rma import window as win_mod
 from repro.rma.enums import HW_OPS, Op, WinFlavor
 
-__all__ = ["accumulate", "fetch_and_op", "compare_and_swap", "apply_op"]
+__all__ = ["accumulate", "fetch_and_op", "compare_and_swap", "apply_op",
+           "acc_path"]
 
 
 def apply_op(op: Op, old: np.ndarray, operand: np.ndarray) -> np.ndarray:
@@ -61,6 +62,14 @@ def _hw_eligible(win, op: Op, arr: np.ndarray, toff: int) -> bool:
         return False
     return win.flavor in (WinFlavor.ALLOCATE, WinFlavor.CREATE,
                           WinFlavor.SHARED)
+
+
+def acc_path(win, op: Op, arr: np.ndarray, toff: int) -> str:
+    """Which implementation an accumulate takes: ``"hw"`` (NIC AMO
+    stream) or ``"sw"`` (locked fallback).  Diagnostic colour for the
+    memory-model checker -- both paths are atomic with respect to each
+    other, so the tag never affects race classification."""
+    return "hw" if _hw_eligible(win, op, arr, toff) else "sw"
 
 
 def accumulate(win, data, target: int, target_disp: int, op: Op, *,

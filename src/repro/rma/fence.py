@@ -56,5 +56,10 @@ def fence(win, no_succeed: bool = False):
         obs.rank_span(ctx.rank, "epoch.fence", t0, ctx.now, cat="epoch")
         obs.metrics.count("rma.fence", ctx.rank)
         obs.metrics.observe("fence_ns", ctx.rank, ctx.now - t0)
+    ck = ctx.checker
+    if ck is not None:
+        # Cross-rank ordering came from the barrier's collective hooks;
+        # the fence itself completes this origin's outstanding ops.
+        ck.on_fence(win)
     win.epoch_access = None if no_succeed else "fence"
     win.epoch_exposure = None if no_succeed else "fence"

@@ -117,6 +117,9 @@ def lock(win, target: int, lock_type: LockType = LockType.SHARED):
         obs.metrics.count("rma.lock", win.ctx.rank)
         obs.metrics.observe("lock_acquire_ns", win.ctx.rank, now - t0)
         st.acquired_at[target] = now
+    ck = win.ctx.checker
+    if ck is not None:
+        ck.lock_acquired(win, target, lock_type is LockType.EXCLUSIVE)
     st.held[target] = lock_type
     win.epoch_access = "lock"
     # Acquisition is forward progress; the retry loops above are not --
@@ -225,6 +228,9 @@ def unlock(win, target: int):
         obs.rank_span(ctx.rank, "lock.hold", t_acq, ctx.now, cat="lock",
                       args={"target": target})
         obs.metrics.observe("lock_hold_ns", ctx.rank, ctx.now - t_acq)
+    ck = ctx.checker
+    if ck is not None:
+        ck.lock_released(win, target, lt is LockType.EXCLUSIVE)
     del st.held[target]
     if not st.held:
         win.epoch_access = None
@@ -262,6 +268,9 @@ def lock_all(win):
         obs.metrics.count("rma.lock_all", win.ctx.rank)
         obs.metrics.observe("lock_acquire_ns", win.ctx.rank, now - t0)
         st.acquired_at["all"] = now
+    ck = win.ctx.checker
+    if ck is not None:
+        ck.lock_all_acquired(win)
     st.lock_all_held = True
     win.epoch_access = "lock_all"
     win.ctx.env.note_progress()
@@ -281,6 +290,9 @@ def unlock_all(win):
         t_acq = st.acquired_at.pop("all", ctx.now)
         obs.rank_span(ctx.rank, "lock.hold_all", t_acq, ctx.now, cat="lock")
         obs.metrics.observe("lock_hold_ns", ctx.rank, ctx.now - t_acq)
+    ck = ctx.checker
+    if ck is not None:
+        ck.lock_all_released(win)
     st.lock_all_held = False
     win.epoch_access = None
     win.ctx.env.note_progress()

@@ -73,6 +73,11 @@ def post(win, group):
     ctx = win.ctx
     ctx.note_api(f"win.post(group={sorted(group)})")
     t0 = ctx.now
+    ck = ctx.checker
+    if ck is not None:
+        # Deposit before the matching-list appends a peer's start() can
+        # observe: any start() that matches this post happens-after it.
+        ck.pscw_post(win, group)
     notifier = ctx.notifier
     dead: set = set()
     if notifier is not None:
@@ -156,6 +161,9 @@ def start(win, group):
             else:
                 yield AnyOf(ctx.env, [wait_ev,
                                       notifier.failure_event(win.rank)])
+    ck = ctx.checker
+    if ck is not None:
+        ck.pscw_start(win, group)
     st.access_group = set(group)
     st.epochs_started += 1
     win.epoch_access = "pscw"
@@ -176,6 +184,11 @@ def complete(win):
     ctx = win.ctx
     ctx.note_api("win.complete()")
     t0 = ctx.now
+    ck = ctx.checker
+    if ck is not None:
+        # Deposit before the completion-counter AMOs a peer's wait()
+        # observes; also orders this origin's ops (complete = flush).
+        ck.pscw_complete(win, st.access_group)
     # Remote visibility of all epoch operations first ...
     yield from ctx.xpmem.mfence()
     yield from ctx.dmapp.gsync()
@@ -250,6 +263,9 @@ def wait(win):
                 win.ctrl.wait_until(win_mod.IDX_PSCW_DONE,
                                     lambda v: v >= expected),
                 notifier.failure_event(win.rank)])
+    ck = ctx.checker
+    if ck is not None:
+        ck.pscw_wait(win, st.exposure_group)
     st.exposure_group = set()
     win.epoch_exposure = None
     obs = ctx.obs

@@ -30,7 +30,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import EpochError, RmaError, WindowError
+from repro.check import epochs as epoch_rules
+from repro.errors import RmaError, WindowError
 from repro.mem.atomic import AtomicArray, SegmentCells
 from repro.rma import accumulate as acc_mod
 from repro.rma import fence as fence_mod
@@ -152,22 +153,11 @@ class Window:
         return target_disp * self.disp_unit
 
     # ------------------------------------------------------------------
-    # epoch checking (MPI semantics)
+    # epoch checking (MPI semantics) -- rules live in repro.check.epochs,
+    # shared between this always-on guard and the full checker.
     # ------------------------------------------------------------------
     def _require_access(self, target: int) -> None:
-        mode = self.epoch_access
-        if mode is None:
-            raise EpochError(
-                f"rank {self.rank}: RMA communication to {target} outside "
-                "any access epoch")
-        if mode == "pscw" and target not in self.pscw_state.access_group:
-            raise EpochError(
-                f"rank {self.rank}: target {target} not in the PSCW access "
-                f"group {sorted(self.pscw_state.access_group)}")
-        if mode == "lock" and target not in self.lock_state.held:
-            raise EpochError(
-                f"rank {self.rank}: target {target} not locked "
-                f"(locked: {sorted(self.lock_state.held)})")
+        epoch_rules.require_access(self, target)
 
     # ------------------------------------------------------------------
     # communication: put / get
@@ -182,9 +172,15 @@ class Window:
         self._require_access(target)
         self.op_counts["put"] += 1
         yield from self.ctx.instr(self.params.instr_put)
-        handles = yield from self._transfer_out(data, target, target_disp,
-                                                origin_datatype,
-                                                target_datatype, count)
+        raw = np.ascontiguousarray(np.asarray(data)).view(np.uint8).ravel()
+        toff = self._byte_offset(target_disp)
+        pieces = self._pieces(raw.size, origin_datatype, target_datatype,
+                              count)
+        ck = self.ctx.checker
+        if ck is not None:
+            ck.note_op(self, "put", target,
+                       [(toff + t, toff + t + n) for _o, t, n in pieces])
+        handles = yield from self._transfer_out(raw, target, toff, pieces)
         return handles
 
     def rput(self, data, target: int, target_disp: int = 0, **kw):
@@ -192,12 +188,7 @@ class Window:
         handles = yield from self.put(data, target, target_disp, **kw)
         return RmaRequest(self, handles)
 
-    def _transfer_out(self, data, target, target_disp, origin_datatype,
-                      target_datatype, count):
-        raw = np.ascontiguousarray(np.asarray(data)).view(np.uint8).ravel()
-        toff = self._byte_offset(target_disp)
-        pieces = self._pieces(raw.size, origin_datatype, target_datatype,
-                              count)
+    def _transfer_out(self, raw, target, toff, pieces):
         ctx = self.ctx
         handles = []
         if self.flavor is WinFlavor.DYNAMIC:
@@ -243,6 +234,10 @@ class Window:
         toff = self._byte_offset(target_disp)
         pieces = self._pieces(out_raw.size, origin_datatype, target_datatype,
                               count)
+        ck = self.ctx.checker
+        if ck is not None:
+            ck.note_op(self, "get", target,
+                       [(toff + t, toff + t + n) for _o, t, n in pieces])
         ctx = self.ctx
         handles = []
         if self.flavor is WinFlavor.DYNAMIC:
@@ -306,6 +301,7 @@ class Window:
         self._check_alive()
         self._require_access(target)
         self.op_counts["accumulate"] += 1
+        self._note_atomic("acc", target, target_disp, op, np.asarray(data))
         return (yield from acc_mod.accumulate(self, data, target,
                                               target_disp, op,
                                               element_bytes=element_bytes,
@@ -317,6 +313,8 @@ class Window:
         self._check_alive()
         self._require_access(target)
         self.op_counts["get_accumulate"] += 1
+        self._note_atomic("get_acc", target, target_disp, op,
+                          np.asarray(data))
         return (yield from acc_mod.accumulate(self, data, target,
                                               target_disp, op,
                                               element_bytes=element_bytes,
@@ -328,6 +326,8 @@ class Window:
         self._check_alive()
         self._require_access(target)
         self.op_counts["fetch_and_op"] += 1
+        self._note_atomic("fao", target, target_disp, op,
+                          np.asarray(value).reshape(1))
         return (yield from acc_mod.fetch_and_op(self, value, target,
                                                 target_disp, op))
 
@@ -337,8 +337,23 @@ class Window:
         self._check_alive()
         self._require_access(target)
         self.op_counts["compare_and_swap"] += 1
+        ck = self.ctx.checker
+        if ck is not None:
+            toff = self._byte_offset(target_disp)
+            ck.note_op(self, "cas", target, [(toff, toff + 8)], op="cas",
+                       path="hw")
         return (yield from acc_mod.compare_and_swap(self, compare, swap,
                                                     target, target_disp))
+
+    def _note_atomic(self, kind: str, target: int, target_disp: int,
+                     op: Op, arr: np.ndarray) -> None:
+        """Shadow-record one accumulate-family call (checker attached)."""
+        ck = self.ctx.checker
+        if ck is not None:
+            toff = self._byte_offset(target_disp)
+            ck.note_op(self, kind, target, [(toff, toff + arr.nbytes)],
+                       op=op.name.lower(),
+                       path=acc_mod.acc_path(self, op, arr, toff))
 
     # ------------------------------------------------------------------
     # synchronization -- thin wrappers over the protocol modules
@@ -388,8 +403,7 @@ class Window:
         is implemented as a full flush -- exactly what foMPI does.
         """
         self._check_alive()
-        if self.epoch_access not in ("lock", "lock_all", "fence", "pscw"):
-            raise EpochError("flush outside a passive/active epoch")
+        epoch_rules.require_flush(self)
         self.op_counts["flush"] += 1
         self.ctx.note_api(f"win.flush(target={target})")
         t0 = self.ctx.now
@@ -403,6 +417,9 @@ class Window:
             obs.metrics.count("rma.flush", self.ctx.rank)
             obs.metrics.observe("flush_ns", self.ctx.rank,
                                 self.ctx.now - t0)
+        ck = self.ctx.checker
+        if ck is not None:
+            ck.on_flush(self)
         self.ctx.env.note_progress()
 
     def flush_all(self):
@@ -450,6 +467,44 @@ class Window:
         if self.seg is None:
             raise WindowError(f"{self.flavor} window has no local segment")
         return self.seg.typed(dtype)
+
+    def _local_seg(self):
+        """(segment, base offset) of this rank's own window memory."""
+        if self.flavor is WinFlavor.SHARED:
+            return self.shared_segment, self.shared_offsets[self.rank]
+        if self.seg is None:
+            raise WindowError(f"{self.flavor} window has no local segment")
+        return self.seg, 0
+
+    def local_store(self, data, offset: int = 0) -> None:
+        """Target-side CPU store into this rank's window memory.
+
+        Equivalent to writing through :meth:`local_view` (zero simulated
+        cost; a plain method, not a generator) but visible to the
+        memory-model checker as a *local* access, so separate-model
+        local/remote conflicts (paper Section 4) are detectable.
+        """
+        self._check_alive()
+        seg, base = self._local_seg()
+        ck = self.ctx.checker
+        if ck is not None:
+            ck.watch_segment(self, seg, base)
+            with ck.local_attribution(self, self.rank, base):
+                seg.write(base + offset, data)
+            return
+        seg.write(base + offset, data)
+
+    def local_load(self, nbytes: int, offset: int = 0) -> np.ndarray:
+        """Target-side CPU load from this rank's window memory (the
+        checker-visible counterpart of reading :meth:`local_view`)."""
+        self._check_alive()
+        seg, base = self._local_seg()
+        ck = self.ctx.checker
+        if ck is not None:
+            ck.watch_segment(self, seg, base)
+            with ck.local_attribution(self, self.rank, base):
+                return seg.read(base + offset, nbytes)
+        return seg.read(base + offset, nbytes)
 
     def shared_query(self, rank: int):
         """MPI_Win_shared_query: (segment, byte offset) of a peer's part."""

@@ -49,6 +49,8 @@ def _collective(fn):
     def wrapper(self, *args, **kwargs):
         obs = self.ctx.obs
         t0 = self.ctx.now if obs is not None else 0
+        ck = self.ctx.checker
+        seq = ck.coll_enter(self.ctx.rank) if ck is not None else 0
         try:
             result = yield from fn(self, *args, **kwargs)
         except FaultError as exc:
@@ -59,6 +61,8 @@ def _collective(fn):
             obs.rank_span(self.ctx.rank, f"coll.{name}", t0,
                           self.ctx.now, cat="coll")
             obs.metrics.count(f"coll.{name}", self.ctx.rank)
+        if ck is not None:
+            ck.coll_exit(self.ctx.rank, seq)
         return result
     return wrapper
 

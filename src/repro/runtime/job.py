@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.config import (
+    CheckConfig,
     FaultConfig,
     MachineConfig,
     ObsConfig,
@@ -46,10 +47,12 @@ class Job:
     mpi1: Mpi1Params = field(default_factory=Mpi1Params)
     faults: FaultConfig = field(default_factory=FaultConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    check: CheckConfig = field(default_factory=CheckConfig)
 
     def build_world(self) -> World:
         return World(self.nranks, self.machine, self.sim, self.gemini,
-                     self.xpmem, self.mpi1, self.faults, self.obs)
+                     self.xpmem, self.mpi1, self.faults, self.obs,
+                     self.check)
 
     def run(self, program: Callable, *args, **kwargs) -> RunResult:
         """Run ``program(ctx, *args, **kwargs)`` on every rank."""
@@ -152,12 +155,15 @@ def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
         stats.update(inj.stats.snapshot())
         if world.env.tracer is not None:
             stats["fault_trace_counts"] = dict(world.env.tracer.fault_counts)
+    if world.checker is not None:
+        stats["check"] = world.checker.stats_snapshot()
     return RunResult(
         returns=returns,
         sim_time_ns=world.env.now,
         events_processed=world.env.events_processed,
         stats=stats,
         obs=world.obs,
+        check=world.checker,
     )
 
 
@@ -169,6 +175,7 @@ def run_spmd(program: Callable, nranks: int, *args,
              mpi1: Mpi1Params | None = None,
              faults: FaultConfig | None = None,
              obs: ObsConfig | None = None,
+             check: CheckConfig | None = None,
              **kwargs) -> RunResult:
     """One-shot SPMD run; the package's main entry point.
 
@@ -176,7 +183,8 @@ def run_spmd(program: Callable, nranks: int, *args,
     forwarded to ``program`` after the rank context.  ``faults`` attaches a
     :class:`~repro.config.FaultConfig`; without one, no fault machinery is
     constructed and runs are bit-identical to the unhardened code.
-    ``obs`` enables the observability layer (``RunResult.obs``).
+    ``obs`` enables the observability layer (``RunResult.obs``); ``check``
+    attaches the memory-model checker (``RunResult.check``).
     """
     job = Job(nranks=nranks,
               machine=machine or MachineConfig(),
@@ -185,5 +193,6 @@ def run_spmd(program: Callable, nranks: int, *args,
               xpmem=xpmem or XpmemParams(),
               mpi1=mpi1 or Mpi1Params(),
               faults=faults or FaultConfig(),
-              obs=obs or ObsConfig())
+              obs=obs or ObsConfig(),
+              check=check or CheckConfig())
     return job.run(program, *args, **kwargs)

@@ -39,6 +39,8 @@ class RankContext:
         # Observability sink (None when disabled -- every hook below the
         # runtime tests exactly that before recording anything).
         self.obs = world.obs
+        # Memory-model checker (same None-when-disabled contract).
+        self.checker = world.checker
         if world.injector is not None:
             # Faulty fabric: the hardened transport (deadlines, seeded
             # backoff, idempotent retransmit, AMO replay dedup).
@@ -51,6 +53,7 @@ class RankContext:
         self.dmapp.obs = world.obs
         self.xpmem = XpmemEndpoint(world.env, rank, world.rank_map,
                                    world.xpmem, world.counters)
+        self.xpmem.checker = world.checker
         self.mpi = Mpi1Endpoint(world.env, rank, world.network,
                                 world.rank_map, world.mpi1, world.xpmem,
                                 world.mpi_registry)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.config import FaultConfig, MachineConfig, ObsConfig, SimConfig
+from repro.config import (CheckConfig, FaultConfig, MachineConfig, ObsConfig,
+                          SimConfig)
 from repro.machine.network import Network
 from repro.machine.params import GeminiParams, XpmemParams
 from repro.machine.topology import RankMap, Torus3D
@@ -29,6 +30,7 @@ class World:
         mpi1: Mpi1Params | None = None,
         faults: FaultConfig | None = None,
         obs: ObsConfig | None = None,
+        check: CheckConfig | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("need at least one rank")
@@ -83,6 +85,27 @@ class World:
                     nranks, max_spans=self.obs_config.max_spans,
                     nic_marks=self.obs_config.nic_marks)
                 sink.append(self.obs)
+        # Memory-model checker: same contract as obs -- constructed when
+        # the config enables it or a repro.check capture block is live;
+        # None otherwise, one ``is None`` test per protocol hook.
+        self.check_config = check or CheckConfig()
+        self.checker = None
+        if self.check_config.enabled:
+            from repro.check.core import RaceChecker
+
+            self.checker = RaceChecker(nranks, config=self.check_config,
+                                       obs=self.obs)
+        else:
+            from repro.check.core import active_check_capture
+
+            csink = active_check_capture()
+            if csink is not None:
+                from repro.check.core import RaceChecker
+
+                self.checker = RaceChecker(nranks,
+                                           config=self.check_config,
+                                           obs=self.obs)
+                csink.append(self.checker)
         self.rank_map = RankMap.for_config(nranks, self.machine)
         self.torus = Torus3D(self.machine.derive_torus(nranks))
         self.counters = OpCounters()

@@ -42,6 +42,8 @@ class XpmemEndpoint:
         self.node = rank_map.node_of(rank)
         self.params = params or XpmemParams()
         self.counters = counters
+        # Memory-model checker (attached by the runtime; None when off).
+        self.checker = None
         self._attached: dict[tuple[int, int], XpmemSegment] = {}
 
     # -- expose / attach -------------------------------------------------
@@ -70,6 +72,8 @@ class XpmemEndpoint:
         cost = int(round(p.store_setup + src.size * p.copy_per_byte))
         if self.counters is not None:
             self.counters.count_issue(self.rank, "xpmem-store", src.size)
+        if self.checker is not None:
+            self.checker.note_transport(self.rank, "xpmem-store", src.size)
         yield self.env.timeout(cost)
         token.seg.write(offset, src)
         self.env.note_progress()  # completed data movement
@@ -84,6 +88,8 @@ class XpmemEndpoint:
         cost = int(round(p.latency + nbytes * p.copy_per_byte))
         if self.counters is not None:
             self.counters.count_issue(self.rank, "xpmem-load", nbytes)
+        if self.checker is not None:
+            self.checker.note_transport(self.rank, "xpmem-load", nbytes)
         yield self.env.timeout(cost)
         self.env.note_progress()  # completed data movement
         return token.seg.read(offset, nbytes)

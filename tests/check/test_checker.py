@@ -1,0 +1,210 @@
+"""End-to-end checker behaviour: every seeded racy demo is flagged with
+the right violation class and conflicting-access pair; every clean demo
+(and the four obs workloads) comes back spotless; results are
+deterministic per seed."""
+
+import numpy as np
+import pytest
+
+from repro.check.runner import check_workload, run_checked
+from repro.check.workloads import CHECK_WORKLOADS, RACY_EXPECT
+from repro.rma.datatypes import BYTE, Vector
+
+CLEAN = [n for n in CHECK_WORKLOADS
+         if not n.startswith("racy_")] + ["racy_latent"]
+
+
+@pytest.mark.parametrize("name", sorted(RACY_EXPECT))
+def test_racy_demo_flagged_with_expected_kind(name):
+    _, ck = check_workload(name, nranks=4, seed=11)
+    assert not ck.clean, f"{name}: checker missed the seeded race"
+    kinds = {v.kind for v in ck.violations}
+    assert kinds == {RACY_EXPECT[name]}, \
+        f"{name}: got {kinds}, expected {{{RACY_EXPECT[name]!r}}}"
+
+
+@pytest.mark.parametrize("name", sorted(CLEAN))
+def test_clean_workload_has_zero_violations(name):
+    _, ck = check_workload(name, nranks=4, seed=11)
+    assert ck.clean, \
+        f"{name}: false positives: {[v.describe() for v in ck.violations]}"
+    assert ck.accesses_seen > 0 or name in ("fence", "pscw", "locks",
+                                            "putget")
+
+
+def test_put_put_pair_identifies_both_writers():
+    """The report names the two conflicting accesses with rank, kind,
+    epoch and timestamp -- the paper-mandated debugging payload."""
+    _, ck = check_workload("racy_put_put", nranks=4, seed=11)
+    for v in ck.violations:
+        assert v.first.kind == "put" and v.second.kind == "put"
+        assert v.first.rank != v.second.rank
+        assert v.target == 0 and (v.lo, v.hi) == (0, 8)
+        assert v.first.epoch == "lock_all"
+        assert v.second.t_ns >= v.first.t_ns >= 0
+        text = v.describe()
+        assert f"rank {v.first.rank}" in text
+        assert f"rank {v.second.rank}" in text
+
+
+def test_acc_mix_pair_names_both_ops():
+    _, ck = check_workload("racy_acc_mix", nranks=4, seed=11)
+    for v in ck.violations:
+        assert {v.first.op, v.second.op} == {"sum", "replace"}
+        assert v.first.is_acc and v.second.is_acc
+
+
+def test_atomic_nonatomic_pair():
+    _, ck = check_workload("racy_atomic_nonatomic", nranks=4, seed=11)
+    for v in ck.violations:
+        kinds = {v.first.kind, v.second.kind}
+        assert "put" in kinds and (kinds & {"fao"})
+
+
+def test_local_remote_pair_attributes_target_side_access():
+    _, ck = check_workload("racy_local", nranks=4, seed=11)
+    assert any({v.first.kind, v.second.kind} == {"local_load", "put"}
+               for v in ck.violations)
+    for v in ck.violations:
+        local = v.first if v.first.is_local else v.second
+        assert local.rank == 0 == local.target
+
+
+def test_same_origin_pair_shares_oseq():
+    """The two unflushed puts carry the same operation-sequence number;
+    the clean twin's flush separates them."""
+    _, ck = check_workload("racy_same_origin", nranks=4, seed=11)
+    for v in ck.violations:
+        assert v.first.rank == v.second.rank
+        assert v.first.oseq == v.second.oseq
+    _, ck = check_workload("clean_same_origin", nranks=4, seed=11)
+    assert ck.clean
+
+
+def test_strided_interleaved_disjoint_is_not_a_race():
+    """Satellite: interleaving-but-non-overlapping vector datatypes from
+    two origins never alias byte-wise -> zero violations."""
+    _, ck = check_workload("clean_strided", nranks=4, seed=11)
+    assert ck.clean
+    assert ck.accesses_seen > 0
+
+
+def test_interleaved_range_sets_do_not_overlap():
+    """The range-set predicate underneath: even/odd 8-byte lanes of a
+    stride-16 vector interleave without byte overlap."""
+    from repro.check.core import _overlaps
+
+    even = tuple((16 * i, 16 * i + 8) for i in range(4))
+    odd = tuple((16 * i + 8, 16 * i + 16) for i in range(4))
+    assert not _overlaps(even, odd)
+    assert _overlaps(even, even)
+    assert _overlaps(even, ((4, 12),))
+
+
+def test_strided_overlapping_is_a_race():
+    """Control for the test above: same vector type, same displacement
+    -> every lane collides and the put-put race is reported."""
+
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(16 * 8)
+        yield from win.lock_all()
+        vec = Vector(8, 8, 16, BYTE)
+        data = np.full(64, ctx.rank, np.uint8)
+        if ctx.rank in (1, 2):
+            yield from win.put(data, 0, 0, target_datatype=vec, count=1)
+        yield from win.flush(0)
+        yield from win.unlock_all()
+        yield from ctx.coll.barrier()
+        yield from win.free()
+
+    _, ck = run_checked(program, nranks=4, seed=11)
+    assert {v.kind for v in ck.violations} == {"put-put"}
+
+
+def test_violations_deterministic_per_seed():
+    def sig(ck):
+        return [(v.kind, v.target, v.lo, v.hi, v.count,
+                 v.first.rank, v.second.rank, v.first.t_ns, v.second.t_ns)
+                for v in ck.violations]
+
+    _, a = check_workload("racy_put_put", nranks=4, seed=23)
+    _, b = check_workload("racy_put_put", nranks=4, seed=23)
+    assert sig(a) == sig(b)
+
+
+def test_duplicate_pairs_deduplicate_with_count():
+    """The same (kinds, ranks, ops) signature repeats -> one Violation
+    with count > 1, not a flood."""
+
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(8)
+        yield from win.lock_all()
+        if ctx.rank < 2:
+            for _ in range(3):
+                yield from win.put(np.full(8, ctx.rank, np.uint8), 0, 0)
+                yield from win.flush(0)
+        yield from win.unlock_all()
+        yield from ctx.coll.barrier()
+        yield from win.free()
+
+    _, ck = run_checked(program, nranks=4, seed=11)
+    assert len(ck.violations) == 1
+    assert ck.violations[0].count > 1
+    assert "(x" in ck.violations[0].describe()
+
+
+def test_full_barrier_prunes_shadow_records():
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(8 * ctx.nranks)
+        yield from win.lock_all()
+        yield from win.put(np.full(8, 1, np.uint8), 0, 8 * ctx.rank)
+        yield from win.flush(0)
+        yield from win.unlock_all()
+        yield from ctx.coll.barrier()   # global ordering point
+        yield from ctx.coll.barrier()   # second one observes the prune
+        yield from win.free()
+
+    _, ck = run_checked(program, nranks=4, seed=11)
+    assert ck.clean
+    assert ck.pruned > 0
+
+
+def test_record_cap_truncates_gracefully():
+    from repro.config import CheckConfig
+    from repro.runtime.job import run_spmd
+
+    def program(ctx):
+        win = yield from ctx.rma.win_allocate(8 * ctx.nranks)
+        yield from win.lock_all()
+        for _ in range(4):
+            yield from win.put(np.full(8, 1, np.uint8), 0, 8 * ctx.rank)
+            yield from win.flush(0)
+        yield from win.unlock_all()
+        yield from ctx.coll.barrier()
+        yield from win.free()
+
+    res = run_spmd(program, 4, check=CheckConfig(enabled=True,
+                                                 max_records=2))
+    ck = res.check
+    assert ck.truncated
+    assert ck.stats_snapshot()["truncated"]
+    assert ck.nrecords <= 2
+
+
+def test_stats_snapshot_shape():
+    _, ck = check_workload("racy_put_put", nranks=4, seed=11)
+    s = ck.stats_snapshot()
+    assert s["violations"] >= s["unique"] >= 1
+    assert s["by_kind"] == {"put-put": s["violations"]}
+    assert s["accesses"] > 0 and not s["truncated"]
+
+
+def test_run_result_carries_check_stats():
+    res, ck = check_workload("clean_put_put", nranks=4, seed=11)
+    assert res.check is ck
+    assert res.stats["check"]["violations"] == 0
+
+
+def test_unknown_workload_lists_choices():
+    with pytest.raises(ValueError, match="racy_put_put"):
+        check_workload("nope")

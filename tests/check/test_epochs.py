@@ -1,0 +1,59 @@
+"""Unit tests for the consolidated epoch-rule module (always-on subset)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check import epochs
+from repro.errors import EpochError
+from repro.rma.enums import LockType
+
+
+def _win(mode, *, exposure=None, held=None, access_group=None):
+    return SimpleNamespace(
+        rank=0,
+        epoch_access=mode,
+        epoch_exposure=exposure,
+        lock_state=SimpleNamespace(held=held or {}),
+        pscw_state=SimpleNamespace(access_group=access_group or set()))
+
+
+def test_access_outside_epoch_rejected():
+    with pytest.raises(EpochError, match="outside any access epoch"):
+        epochs.require_access(_win(None), 1)
+
+
+def test_access_to_unlocked_target_rejected():
+    win = _win("lock", held={2: LockType.SHARED})
+    epochs.require_access(win, 2)  # locked target: fine
+    with pytest.raises(EpochError, match="not locked"):
+        epochs.require_access(win, 1)
+
+
+def test_access_outside_pscw_group_rejected():
+    win = _win("pscw", access_group={1, 3})
+    epochs.require_access(win, 3)
+    with pytest.raises(EpochError, match="not in the PSCW access"):
+        epochs.require_access(win, 2)
+
+
+def test_fence_and_lock_all_cover_every_target():
+    for mode in ("fence", "lock_all"):
+        epochs.require_access(_win(mode), 7)
+
+
+def test_flush_requires_epoch():
+    for mode in epochs.FLUSH_MODES:
+        epochs.require_flush(_win(mode))
+    with pytest.raises(EpochError, match="flush outside"):
+        epochs.require_flush(_win(None))
+
+
+def test_epoch_context_labels():
+    assert epochs.epoch_context(_win(None)) == "none"
+    assert epochs.epoch_context(_win(None, exposure="pscw")) == \
+        "exposure:pscw"
+    assert epochs.epoch_context(_win("fence")) == "fence"
+    assert epochs.epoch_context(_win("lock_all")) == "lock_all"
+    win = _win("lock", held={0: LockType.EXCLUSIVE, 2: LockType.SHARED})
+    assert epochs.epoch_context(win) == "lock(0:exclusive,2:shared)"

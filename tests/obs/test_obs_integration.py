@@ -73,6 +73,36 @@ def test_obs_disabled_schedule_bit_identical():
     assert off.returns == on.returns
 
 
+def test_check_disabled_schedule_bit_identical():
+    """Enabling the memory-model checker must not move a single event."""
+    from repro.config import CheckConfig
+
+    sim = SimConfig(seed=7)
+    off = run_spmd(wl_putget, 4, sim=sim)
+    on = run_spmd(wl_putget, 4, sim=sim, check=CheckConfig(enabled=True))
+    assert off.check is None
+    assert on.check is not None and on.check.accesses_seen > 0
+    assert off.sim_time_ns == on.sim_time_ns
+    assert off.events_processed == on.events_processed
+    assert off.returns == on.returns
+
+
+def test_checker_off_golden_schedules():
+    """Checker-disabled runs are bit-identical to pre-checker schedules:
+    the golden numbers below were captured at seed 11 before the check
+    subsystem existed."""
+    golden = {
+        "putget": (11835, 502),
+        "locks": (22876, 566),
+        "fence": (33492, 490),
+        "pscw": (16611, 302),
+    }
+    for name, (t_ns, events) in golden.items():
+        res, _ = run_workload(name, nranks=4, seed=11, ranks_per_node=4)
+        assert (res.sim_time_ns, res.events_processed) == (t_ns, events), \
+            f"{name}: schedule drifted from pre-checker golden trace"
+
+
 def test_obs_faulty_schedule_bit_identical():
     """The retransmit hook must not consume extra RNG draws: a faulty
     run's schedule is identical with observability on and off."""

@@ -535,3 +535,32 @@ def test_fault_matrix_smoke(workload, fault):
                 "faults": res.stats.get("faults", {}),
                 "recovery": res.stats.get("recovery", {}),
             }, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize("fault", sorted(_FAULTS))
+@pytest.mark.parametrize("workload", sorted(_WORKLOADS))
+def test_fault_matrix_checker_cell(workload, fault):
+    """The checker-enabled cell of the fault matrix: every combination
+    still terminates with the memory-model checker attached, the demo
+    protocols stay race-free under faults, and the cell lands in the
+    REPRO_FAULT_STATS artifact like the others."""
+    from repro.config import CheckConfig
+
+    program, nranks = _WORKLOADS[workload]
+    res = run_spmd(program, nranks, machine=INTER, faults=_FAULTS[fault],
+                   check=CheckConfig(enabled=True))
+    for r, ret in enumerate(res.returns):
+        assert ret == "ok" or isinstance(ret, FaultError), \
+            f"{workload}/{fault}+check: rank {r} returned {ret!r}"
+    ck = res.check
+    assert ck is not None and ck.clean, \
+        f"{workload}/{fault}+check: {[v.describe() for v in ck.violations]}"
+
+    out = os.environ.get("REPRO_FAULT_STATS")
+    if out:
+        with open(out, "a") as fh:
+            fh.write(json.dumps({
+                "workload": workload, "fault": fault, "checker": True,
+                "sim_time_ns": res.sim_time_ns,
+                "check": res.stats.get("check", {}),
+            }, sort_keys=True) + "\n")
