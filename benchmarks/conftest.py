@@ -71,6 +71,16 @@ def pytest_sessionfinish(session, exitstatus):
     except ImportError:
         return
     totals = pool_totals()
+    # CI fan-out gate: when the workflow pins REPRO_BENCH_WORKERS above 1
+    # it is asserting that the figure sweeps really used the process pool
+    # -- a silent fall-back to serial execution would still pass the perf
+    # job while measuring something else entirely.
+    workers_pinned = int(os.environ.get("REPRO_BENCH_WORKERS") or 0)
+    if workers_pinned > 1 and totals.executed > 1 and not totals.parallel:
+        raise RuntimeError(
+            f"REPRO_BENCH_WORKERS={workers_pinned} but no sweep ran in "
+            f"parallel (points={totals.points}, executed={totals.executed});"
+            " used_parallel must be true in the aggregated report")
     report = {}
     if REPORT.exists():
         try:

@@ -18,6 +18,12 @@ Commands
                     semantics violation; ``--perturb N`` sweeps N seeded
                     schedule perturbations to manifest latent races
                     (exit code 1 when violations are found)
+``ft <wl>``         crash-to-completion experiment: run the FT workload
+                    (``hashtable``) fault-free, crash ``--crash-rank`` at
+                    ``--crash-frac`` of the reference run, recover, and
+                    compare final states bit-for-bit; ``ft soak`` sweeps
+                    ``--runs`` seeded randomized crash schedules (exit
+                    code 1 on any mismatch)
 """
 
 from __future__ import annotations
@@ -173,6 +179,26 @@ def main(argv=None) -> int:
     c.add_argument("--jitter", action="store_true",
                    help="perturb this single run (used by the printed "
                         "reproducer commands)")
+    ft = sub.add_parser("ft")
+    ft.add_argument("workload", nargs="?", default="hashtable",
+                    help="'hashtable' (single crash-to-completion "
+                         "experiment) or 'soak' (seeded randomized sweep)")
+    ft.add_argument("--ranks", type=int, default=4)
+    ft.add_argument("--inserts", type=int, default=4,
+                    help="inserts per rank")
+    ft.add_argument("--seed", type=int, default=None)
+    ft.add_argument("--crash-rank", type=int, default=1)
+    ft.add_argument("--crash-frac", type=float, default=0.5,
+                    help="crash time as a fraction of the fault-free "
+                         "run's length")
+    ft.add_argument("--mode", choices=("spare", "shrink"), default="spare")
+    ft.add_argument("--interval", type=int, default=2,
+                    help="checkpoint every N inserts")
+    ft.add_argument("--policy", choices=("log", "ckpt_only"), default="log")
+    ft.add_argument("--runs", type=int, default=5,
+                    help="number of soak runs (soak workload only)")
+    ft.add_argument("--stats-out", metavar="PATH", default=None,
+                    help="write per-run recovery stats as JSON")
     args = ap.parse_args(argv)
 
     if args.cmd == "demo":
@@ -257,7 +283,63 @@ def main(argv=None) -> int:
             events_processed=res.events_processed))
     elif args.cmd == "check":
         return _check_cmd(args)
+    elif args.cmd == "ft":
+        return _ft_cmd(args)
     return 0
+
+
+def _ft_cmd(args) -> int:
+    """``repro ft``: crash-to-completion experiments over the rollback-
+    recovery layer.  Exit code 1 iff any final state mismatched."""
+    import json
+
+    from repro.config import SimConfig
+    from repro.ft.workloads import run_crash_to_completion, soak
+
+    seed = SimConfig.seed if args.seed is None else args.seed
+    if args.workload == "soak":
+        rows = soak(args.runs, nranks=args.ranks, inserts=args.inserts,
+                    base_seed=seed)
+        for r in rows:
+            print(f"run {r['run']}: seed={r['seed']} "
+                  f"crash_rank={r['crash_rank']} mode={r['mode']:6s} "
+                  f"t_crash={r['crash_time_ns']}ns "
+                  f"restored={r['ranks_restored']} "
+                  f"{'MATCH' if r['match'] else 'MISMATCH'}")
+        ok = all(r["match"] for r in rows)
+        if args.stats_out:
+            with open(args.stats_out, "w") as fh:
+                json.dump(rows, fh, indent=2, default=str)
+            print(f"wrote {args.stats_out}")
+        print(f"{sum(r['match'] for r in rows)}/{len(rows)} runs "
+              f"recovered to the fault-free state")
+        return 0 if ok else 1
+    if args.workload != "hashtable":
+        raise SystemExit(f"unknown ft workload {args.workload!r} "
+                         "(expected 'hashtable' or 'soak')")
+    out = run_crash_to_completion(
+        args.ranks, args.inserts, seed=seed, crash_rank=args.crash_rank,
+        crash_frac=args.crash_frac, mode=args.mode,
+        interval=args.interval, policy=args.policy)
+    row = out.stats_row()
+    print(f"reference run: {out.reference.sim_time_ns / 1e3:.1f} us "
+          f"fault-free")
+    print(f"crashed rank {out.crash_rank} at {out.crash_time_ns} ns "
+          f"({args.crash_frac:.0%} of reference), mode={out.mode}")
+    print(f"recovered run: {out.recovered.sim_time_ns / 1e3:.1f} us, "
+          f"{row['ranks_restored']} rank(s) restored")
+    ftstats = row.get("ft") or {}
+    if ftstats:
+        print("ft stats: " + ", ".join(f"{k}={v}"
+                                       for k, v in sorted(ftstats.items())))
+    if args.stats_out:
+        with open(args.stats_out, "w") as fh:
+            json.dump(row, fh, indent=2, default=str)
+        print(f"wrote {args.stats_out}")
+    print("final state: "
+          + ("bit-identical to fault-free run"
+             if out.match else "MISMATCH vs fault-free run"))
+    return 0 if out.match else 1
 
 
 def _check_cmd(args) -> int:

@@ -339,6 +339,39 @@ class RaceChecker:
         self._acquire(win.rank, merged)
 
     # ------------------------------------------------------------------
+    # rollback recovery (repro.ft)
+    # ------------------------------------------------------------------
+    def on_restore(self, rank: int, coll_seq: int, oseqs: dict) -> None:
+        """A crashed rank was rolled back to a checkpoint and restarted.
+
+        The dead incarnation's post-checkpoint history is void: its
+        shadow records would fabricate races against the re-executed
+        operations, and its sequence counters must rewind to the values
+        the restored program state corresponds to.  The restore itself
+        is a global ordering point for the rank (the checkpointed bytes
+        plus replayed log entries are what everyone observes), so the
+        rank's clock ticks once here."""
+        old_seq = self._coll_seq[rank]
+        self._coll_seq[rank] = coll_seq
+        for key in [k for k in self._oseq if k[0] == rank]:
+            del self._oseq[key]
+        self._oseq.update(oseqs)
+        for shadow in self._shadow.values():
+            shadow.records = [r for r in shadow.records if r.rank != rank]
+        self.nrecords = sum(len(s.records) for s in self._shadow.values())
+        # Withdraw the dead incarnation's entries from still-open
+        # collective slots it had entered past the checkpoint: the
+        # restarted incarnation re-enters them.
+        for seq in range(coll_seq, old_seq):
+            slot = self._coll.get(seq)
+            if slot is None:
+                continue
+            slot.entered -= 1
+            if slot.entered <= 0:
+                del self._coll[seq]
+        self.clocks[rank].tick(rank)
+
+    # ------------------------------------------------------------------
     # access hooks
     # ------------------------------------------------------------------
     def note_op(self, win, kind: str, target: int,

@@ -302,6 +302,80 @@ class RecoveryConfig:
 
 
 @dataclass(frozen=True)
+class FTConfig:
+    """Rollback-recovery (checkpoint + put-log + restart) policy.
+
+    Only consulted when the active :class:`FaultPlan` contains crashes and
+    :class:`RecoveryConfig` is enabled; otherwise none of the FT machinery
+    is constructed and schedules are bit-identical to FT-free runs.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch for rollback recovery.  Off, crashes are survived
+        only in the PR-4 sense (structured errors, revoked locks).
+    interval:
+        Application steps between coordinated checkpoints (the knob the
+        FT paper's headline overhead figure sweeps).
+    replicas:
+        Buddy copies kept per checkpoint (each on the next ring node).
+    spares:
+        Spare *nodes* held out of the initial placement.  A crashed
+        node's ranks restart on the next unused spare; with no spare
+        left (or ``mode="shrink"``) they shrink onto their buddy node.
+    mode:
+        ``"spare"`` prefers spare nodes, ``"shrink"`` always re-homes
+        onto the checkpoint buddy's node (oversubscribing it).
+    policy:
+        ``"log"``: demand-driven origin-side logging of puts/atomics
+        targeting protected windows; a restored rank replays the delta
+        since its checkpoint.  ``"ckpt_only"``: no logging -- restore
+        rolls remote writes back to the last checkpoint (only sound for
+        phases that quiesce remote access around checkpoints; used by
+        the overhead benchmark to separate the two costs).
+    ckpt_copy_ns_per_byte / restore_ns_per_byte / replay_ns_per_entry /
+    rereg_ns_per_segment:
+        Cost model for snapshotting into the buddy message, restoring
+        bytes on the adopting node, replaying one log entry, and
+        re-registering one adopted segment (memory registration +
+        XPMEM re-expose).
+    """
+
+    enabled: bool = False
+    interval: int = 8
+    replicas: int = 1
+    spares: int = 0
+    mode: str = "spare"
+    policy: str = "log"
+    ckpt_copy_ns_per_byte: float = 0.05
+    restore_ns_per_byte: float = 0.1
+    replay_ns_per_entry: int = 120
+    rereg_ns_per_segment: int = 2_500
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"FTConfig.interval={self.interval} must be >= 1")
+        if self.replicas < 1:
+            raise ValueError(
+                f"FTConfig.replicas={self.replicas} must be >= 1")
+        if self.spares < 0:
+            raise ValueError(f"FTConfig.spares={self.spares} is negative")
+        if self.mode not in ("spare", "shrink"):
+            raise ValueError(
+                f"FTConfig.mode={self.mode!r} not in ('spare', 'shrink')")
+        if self.policy not in ("log", "ckpt_only"):
+            raise ValueError(
+                f"FTConfig.policy={self.policy!r} not in "
+                "('log', 'ckpt_only')")
+        for name in ("ckpt_copy_ns_per_byte", "restore_ns_per_byte"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"FTConfig.{name} is negative")
+        for name in ("replay_ns_per_entry", "rereg_ns_per_segment"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"FTConfig.{name} is negative")
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """A :class:`FaultPlan` plus the resilience-machinery tuning knobs.
 
@@ -327,6 +401,9 @@ class FaultConfig:
     recovery:
         Survivor-side recovery policy applied when the plan crashes nodes
         (:class:`RecoveryConfig`).
+    ft:
+        Rollback-recovery policy (:class:`FTConfig`); only active on top
+        of an enabled ``recovery`` when the plan contains crashes.
     """
 
     plan: FaultPlan | None = None
@@ -336,6 +413,7 @@ class FaultConfig:
     retry_backoff_max_ns: int = 16_000
     retry_jitter_ns: int = 200
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    ft: FTConfig = field(default_factory=FTConfig)
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:

@@ -45,11 +45,21 @@ class DmappHandle:
 
 
 class DmappEndpoint:
-    """One rank's DMAPP context."""
+    """One rank's DMAPP context.
+
+    Mutating operations accept an optional ``on_applied`` delivery
+    callback, invoked inside the target-side effect closure right after
+    the mutation lands (puts: per chunk with ``(offset, piece)``; AMOs:
+    with the old value(s)).  The FT layer uses it for demand-driven
+    put/atomic logging; it is never called for deduplicated AMO replays.
+    """
 
     # Observability sink; assigned by RankContext when the world carries
     # an Instrumentation, else stays None and every hook is one test.
     obs = None
+    # Rollback-recovery runtime; assigned by RankContext when the world
+    # carries an FTRuntime (same None-when-off contract as obs).
+    ft = None
 
     def __init__(
         self,
@@ -98,7 +108,8 @@ class DmappEndpoint:
     # ------------------------------------------------------------------
     # put
     # ------------------------------------------------------------------
-    def put_nbi(self, desc: MemDescriptor, offset: int, data) -> "Generator":
+    def put_nbi(self, desc: MemDescriptor, offset: int, data,
+                on_applied=None) -> "Generator":
         """Implicit-nonblocking put; completed by :meth:`gsync`.
 
         Charges the origin process for injection backpressure (this is what
@@ -130,6 +141,8 @@ class DmappEndpoint:
 
             def _write(_t, seg=seg, off=off, piece=piece):
                 seg.write(off, piece)
+                if on_applied is not None:
+                    on_applied(off, piece)
 
             delivery, _ev = net.packet(
                 self.node, tnode, max(1, n), inject_window=(inj_start, inj_end),
@@ -226,7 +239,8 @@ class DmappEndpoint:
     # AMOs
     # ------------------------------------------------------------------
     def amo_nbi(self, target_rank: int, cells: AtomicArray, idx: int,
-                op: str, operand: int, operand2: int = 0, fetch: bool = False):
+                op: str, operand: int, operand2: int = 0, fetch: bool = False,
+                on_applied=None):
         """One 8-byte AMO at the target NIC.
 
         ``op='cas'`` uses ``operand`` as compare and ``operand2`` as swap.
@@ -245,6 +259,8 @@ class DmappEndpoint:
             else:
                 old = cells.apply(idx, op, operand)
             handle.result = old
+            if on_applied is not None:
+                on_applied(old)
 
         delivery, _ = net.packet(self.node, tnode, _AMO_BYTES,
                                  inject_window=(inj_start, inj_end),
@@ -290,15 +306,17 @@ class DmappEndpoint:
         return handle
 
     def amo_b(self, target_rank: int, cells: AtomicArray, idx: int,
-              op: str, operand: int, operand2: int = 0):
+              op: str, operand: int, operand2: int = 0, on_applied=None):
         """Blocking fetching AMO; returns the OLD value."""
         handle = yield from self.amo_nbi(target_rank, cells, idx, op,
-                                         operand, operand2, fetch=True)
+                                         operand, operand2, fetch=True,
+                                         on_applied=on_applied)
         yield from self.wait(handle)
         return handle.result
 
     def amo_stream_nbi(self, target_rank: int, cells: AtomicArray,
-                       base_idx: int, op: str, operands, fetch: bool = False):
+                       base_idx: int, op: str, operands, fetch: bool = False,
+                       on_applied=None):
         """Streamed AMOs over consecutive cells (foMPI accelerated
         accumulate): one injection, AMO-engine occupancy per element.
 
@@ -322,6 +340,8 @@ class DmappEndpoint:
             old = [cells.apply(base_idx + i, op, v) for i, v in enumerate(ops)]
             if fetch:
                 handle.result = np.array(old, dtype=np.uint64)
+            if on_applied is not None:
+                on_applied(old)
 
         # One packet; AMO engine busy amo_gap per element.
         wire = (p.wire_latency(net.hops(self.node, tnode)) + p.nic_latency
@@ -478,6 +498,16 @@ class ResilientDmappEndpoint(DmappEndpoint):
             # Lost somewhere (request dropped/corrupted, target crashed,
             # or the ack went missing): the source NIC times out after the
             # op deadline and retransmits with capped, jittered backoff.
+            ct = inj.crash_time(tnode)
+            if ct is not None and inj_end >= ct:
+                # The target died before this attempt could complete, and
+                # every later retransmit injects even later: give up now
+                # instead of burning the whole retry budget (and clogging
+                # the injection channel) against a dead node.
+                raise NodeCrashedError(
+                    tnode, ct,
+                    f"{kind} from rank {self.rank} to rank "
+                    f"{target_rank} undeliverable (target crashed)")
             inj.stats.retransmits += 1
             inj._trace("retransmit",
                        f"{kind} rank{self.rank}->rank{target_rank} "
@@ -493,10 +523,28 @@ class ResilientDmappEndpoint(DmappEndpoint):
             resend_floor = int(round(inj_end + cfg.op_deadline_ns
                                      + backoff))
 
+    def _pause_or_raise(self, target_rank: int, exc: NodeCrashedError):
+        """FT hook: block until the target's cohort is restored, then let
+        the caller retry; re-raise when the crash is not recoverable."""
+        yield from self.ft.pause_for_restore(self.rank, target_rank, exc)
+
     # ------------------------------------------------------------------
     # resilient operations
     # ------------------------------------------------------------------
-    def put_nbi(self, desc: MemDescriptor, offset: int, data):
+    def put_nbi(self, desc: MemDescriptor, offset: int, data,
+                on_applied=None):
+        if self.ft is None:
+            return (yield from self._put_nbi_inner(desc, offset, data,
+                                                   on_applied))
+        while True:
+            try:
+                return (yield from self._put_nbi_inner(desc, offset, data,
+                                                       on_applied))
+            except NodeCrashedError as exc:
+                yield from self._pause_or_raise(desc.rank, exc)
+
+    def _put_nbi_inner(self, desc: MemDescriptor, offset: int, data,
+                       on_applied=None):
         src = np.ascontiguousarray(np.asarray(data)).view(np.uint8).ravel()
         seg = self._resolve(desc)
         seg._check(offset, src.size)
@@ -517,6 +565,8 @@ class ResilientDmappEndpoint(DmappEndpoint):
 
             def _write(_t, seg=seg, off=off, piece=piece):
                 seg.write(off, piece)  # idempotent: retransmits re-write
+                if on_applied is not None:
+                    on_applied(off, piece)
 
             (inj_start, inj_end), complete, _att = self._deliver_reliably(
                 tnode, max(1, n), _write, "put", desc.rank)
@@ -538,6 +588,17 @@ class ResilientDmappEndpoint(DmappEndpoint):
 
     def get_nbi(self, desc: MemDescriptor, offset: int, nbytes: int,
                 out: np.ndarray | None = None):
+        if self.ft is None:
+            return (yield from self._get_nbi_inner(desc, offset, nbytes, out))
+        while True:
+            try:
+                return (yield from self._get_nbi_inner(desc, offset,
+                                                       nbytes, out))
+            except NodeCrashedError as exc:
+                yield from self._pause_or_raise(desc.rank, exc)
+
+    def _get_nbi_inner(self, desc: MemDescriptor, offset: int, nbytes: int,
+                       out: np.ndarray | None = None):
         seg = self._resolve(desc)
         seg._check(offset, nbytes)
         net = self.network
@@ -592,6 +653,14 @@ class ResilientDmappEndpoint(DmappEndpoint):
                             resp_end + self._wire_back(tnode)
                             + resp_fate.extra_delay_ns))
                         break
+            ct = inj.crash_time(tnode)
+            if ct is not None and inj_end >= ct:
+                # Dead target: no retransmit can ever succeed (see
+                # _deliver_reliably).
+                raise NodeCrashedError(
+                    tnode, ct,
+                    f"get from rank {self.rank} to rank {desc.rank} "
+                    f"undeliverable (target crashed)")
             inj.stats.retransmits += 1
             inj._trace("retransmit",
                        f"get rank{self.rank}->rank{desc.rank} #{attempts}")
@@ -626,12 +695,30 @@ class ResilientDmappEndpoint(DmappEndpoint):
 
     def amo_nbi(self, target_rank: int, cells: AtomicArray, idx: int,
                 op: str, operand: int, operand2: int = 0,
-                fetch: bool = False):
+                fetch: bool = False, on_applied=None):
+        # Draw the sequence number once, before any attempt: on a
+        # crash-and-restore retry the injector's replay cache then
+        # deduplicates an AMO whose first copy already took effect.
+        seq = self._next_seq()
+        if self.ft is None:
+            return (yield from self._amo_nbi_inner(
+                target_rank, cells, idx, op, operand, operand2, fetch,
+                seq, on_applied))
+        while True:
+            try:
+                return (yield from self._amo_nbi_inner(
+                    target_rank, cells, idx, op, operand, operand2, fetch,
+                    seq, on_applied))
+            except NodeCrashedError as exc:
+                yield from self._pause_or_raise(target_rank, exc)
+
+    def _amo_nbi_inner(self, target_rank: int, cells: AtomicArray, idx: int,
+                       op: str, operand: int, operand2: int, fetch: bool,
+                       seq: int, on_applied=None):
         net = self.network
         inj = self.injector
         tnode = self._target_node(target_rank)
         self._quarantine_check(tnode, f"amo:{op}", target_rank)
-        seq = self._next_seq()
         handle = DmappHandle("amo", 0, 0)
 
         def _execute(_t):
@@ -644,6 +731,8 @@ class ResilientDmappEndpoint(DmappEndpoint):
                 old = cells.apply(idx, op, operand)
             inj.record_amo(self.rank, seq, old)
             handle.result = old
+            if on_applied is not None:
+                on_applied(old)
 
         (inj_start, inj_end), complete, _att = self._deliver_reliably(
             tnode, _AMO_BYTES, _execute, f"amo:{op}", target_rank,
@@ -661,11 +750,22 @@ class ResilientDmappEndpoint(DmappEndpoint):
         return handle
 
     def amo_custom_nbi(self, target_rank: int, mutate):
+        seq = self._next_seq()
+        if self.ft is None:
+            return (yield from self._amo_custom_nbi_inner(
+                target_rank, mutate, seq))
+        while True:
+            try:
+                return (yield from self._amo_custom_nbi_inner(
+                    target_rank, mutate, seq))
+            except NodeCrashedError as exc:
+                yield from self._pause_or_raise(target_rank, exc)
+
+    def _amo_custom_nbi_inner(self, target_rank: int, mutate, seq: int):
         net = self.network
         inj = self.injector
         tnode = self._target_node(target_rank)
         self._quarantine_check(tnode, "amo:custom", target_rank)
-        seq = self._next_seq()
         handle = DmappHandle("amo-custom", 0, 0)
 
         def _execute(_t):
@@ -693,7 +793,23 @@ class ResilientDmappEndpoint(DmappEndpoint):
 
     def amo_stream_nbi(self, target_rank: int, cells: AtomicArray,
                        base_idx: int, op: str, operands,
-                       fetch: bool = False):
+                       fetch: bool = False, on_applied=None):
+        seq = self._next_seq()
+        if self.ft is None:
+            return (yield from self._amo_stream_nbi_inner(
+                target_rank, cells, base_idx, op, operands, fetch, seq,
+                on_applied))
+        while True:
+            try:
+                return (yield from self._amo_stream_nbi_inner(
+                    target_rank, cells, base_idx, op, operands, fetch, seq,
+                    on_applied))
+            except NodeCrashedError as exc:
+                yield from self._pause_or_raise(target_rank, exc)
+
+    def _amo_stream_nbi_inner(self, target_rank: int, cells: AtomicArray,
+                              base_idx: int, op: str, operands,
+                              fetch: bool, seq: int, on_applied=None):
         ops = [int(v) for v in np.asarray(operands).ravel()]
         n = len(ops)
         if n == 0:
@@ -704,7 +820,6 @@ class ResilientDmappEndpoint(DmappEndpoint):
         cfg = self.fault_config
         tnode = self._target_node(target_rank)
         self._quarantine_check(tnode, f"amo-stream:{op}", target_rank)
-        seq = self._next_seq()
         nbytes = 8 * n
         handle = DmappHandle("amo-stream", 0, 0)
 
@@ -720,6 +835,8 @@ class ResilientDmappEndpoint(DmappEndpoint):
             inj.record_amo(self.rank, seq, arr)
             if fetch:
                 handle.result = arr
+            if on_applied is not None:
+                on_applied(old)
 
         attempts = 0
         resend_floor: int | None = None

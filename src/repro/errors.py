@@ -157,6 +157,14 @@ class NodeCrashedError(FaultError):
         super().__init__(msg)
 
 
+class FTError(FaultError):
+    """Rollback-recovery (repro.ft) configuration or protocol violation.
+
+    Raised for operations the FT layer cannot make recoverable -- e.g. a
+    software-fallback accumulate on a protected window whose lock-based
+    read-modify-write cannot be logged as a deterministic delta."""
+
+
 class RankFailedError(FaultError):
     """A protocol operation could not complete because peer rank(s) died.
 

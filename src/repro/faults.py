@@ -71,9 +71,11 @@ class FaultStats:
     acquisitions_failed: int = 0
     regions_reclaimed: int = 0
     degraded_frees: int = 0
+    # Rollback recovery (repro.ft): ranks brought back by restart.
+    ranks_restored: int = 0
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "retransmits": self.retransmits,
             "faults": {
                 "drops": self.drops,
@@ -95,6 +97,11 @@ class FaultStats:
                 "degraded_frees": self.degraded_frees,
             },
         }
+        # Keyed only when restarts happened, so FT-free golden stats
+        # shapes are untouched.
+        if self.ranks_restored:
+            snap["recovery"]["ranks_restored"] = self.ranks_restored
+        return snap
 
 
 class _XorShift:

@@ -1,0 +1,624 @@
+"""Checkpoint, put-log and restart machinery (the FT runtime).
+
+One :class:`FTRuntime` per world (constructed only when
+``FaultConfig.ft.enabled``; every hook below the runtime is behind a
+single ``is None`` test, so FT-off schedules stay bit-identical).  Each
+rank talks to it through a thin per-rank :class:`FTContext` facade
+(``ctx.ft``).
+
+Protocol summary
+----------------
+
+**Checkpoints** are loosely coordinated: every rank snapshots its
+protected windows at the same *logical* step (after a flush), with no
+barrier.  A snapshot records the window bytes (checksummed), the control
+words, the lock state, the origin-side op-sequence and collective-tag
+counters, the caller's application state, and a per-window *watermark* --
+the target-side delivery counter at the snapshot instant.  The snapshot
+is deposited on a buddy node (seeded ring placement) as a real modeled
+network transfer; it *commits* when the replica arrives.
+
+**Put-logging** (policy ``"log"``): every remotely-delivered put or
+effective atomic targeting a protected window is recorded *at its
+delivery instant* with a monotonically increasing per-(window, target)
+stamp.  Replaying, in stamp order, exactly the entries above a
+checkpoint's watermark reconstructs the target bytes regardless of when
+the snapshot was taken relative to in-flight traffic -- this is what
+makes barrier-free checkpoints consistent.
+
+**Restart**: the failure notifier's dissemination process calls the
+restore hook after survivor-side revocation.  The dead node's ranks are
+re-homed to a spare node (or the buddy, in shrink mode), their newest
+committed checkpoints are checksum-verified and restored in place,
+post-watermark log entries are replayed, lock words are reconciled
+against the revocation ledger, and fresh rank processes re-enter the
+program from the checkpointed application state.  Origin sequence
+numbers are restored too, so re-executed atomics hit the PR-1 replay
+dedup and apply exactly once.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FTError
+from repro.ft.placement import BuddyPlacement
+from repro.sim.kernel import Event
+
+__all__ = ["FTRuntime", "FTContext", "FTStats"]
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+@dataclass
+class FTStats:
+    """Counters for checkpoint/log/restore work (``RunResult.stats['ft']``)."""
+
+    checkpoints_taken: int = 0
+    checkpoint_bytes: int = 0
+    replicas_deposited: int = 0
+    replicas_arrived: int = 0
+    checkpoints_cancelled: int = 0
+    buddy_bytes: int = 0
+    log_entries: int = 0
+    log_bytes: int = 0
+    entries_replayed: int = 0
+    restores: int = 0
+    ranks_restored: int = 0
+    unrecoverable: int = 0
+    spares_used: int = 0
+    restore_ns: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "replicas_deposited": self.replicas_deposited,
+            "replicas_arrived": self.replicas_arrived,
+            "checkpoints_cancelled": self.checkpoints_cancelled,
+            "buddy_bytes": self.buddy_bytes,
+            "log_entries": self.log_entries,
+            "log_bytes": self.log_bytes,
+            "entries_replayed": self.entries_replayed,
+            "restores": self.restores,
+            "ranks_restored": self.ranks_restored,
+            "unrecoverable": self.unrecoverable,
+            "spares_used": self.spares_used,
+            "restore_ns": self.restore_ns,
+        }
+
+
+@dataclass
+class _WinSnap:
+    """One window's share of a checkpoint."""
+
+    data: bytes
+    crc: int
+    ctrl: list
+    ledger_sums: dict
+    lock_snap: dict
+    watermark: int
+
+
+@dataclass
+class _Checkpoint:
+    """One rank's coordinated snapshot at one version."""
+
+    version: int
+    rank: int
+    windows: dict = field(default_factory=dict)  # win_id -> _WinSnap
+    app: dict = field(default_factory=dict)
+    op_seq: int | None = None
+    coll_tag: int = 0
+    nbx_tag: int = 0
+    coll_seq: int = 0
+    oseqs: dict = field(default_factory=dict)  # (rank, win_id) -> int
+    nbytes: int = 0
+    arrived: bool = False
+    cancelled: bool = False
+
+
+class FTRuntime:
+    """Per-world rollback-recovery service."""
+
+    def __init__(self, world) -> None:
+        self.world = world
+        self.env = world.env
+        self.cfg = world.faults.ft
+        base_nnodes = world.rank_map.nnodes
+        self.placement = BuddyPlacement(base_nnodes, self.cfg.spares,
+                                        world.sim.seed)
+        self.stats = FTStats()
+        # Protected-window registry: win_id -> {rank -> Window}.
+        self.windows: dict[int, dict] = {}
+        self.protected: set[int] = set()
+        # Target-side delivery stamps and demand-driven logs, keyed by
+        # (win_id, target_rank).
+        self.stamps: dict[tuple[int, int], int] = {}
+        self.logs: dict[tuple[int, int], list] = {}
+        # rank -> newest checkpoint version taken (v0 = first).
+        self.versions: dict[int, int] = {}
+        self.ckpts: dict[tuple[int, int], _Checkpoint] = {}
+        # Restart bookkeeping.
+        self.program = None
+        self.p_args: tuple = ()
+        self.p_kwargs: dict = {}
+        self.returns: dict[int, object] = {}
+        self._restored: set[int] = set()
+        self._unrecoverable: set[int] = set()
+        self._restore_events: dict[int, Event] = {}
+        self._spares_used = 0
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # program binding / queries
+    # ------------------------------------------------------------------
+    def bind(self, program, args, kwargs) -> None:
+        """Remember the SPMD program so restarts can re-enter it."""
+        self.program = program
+        self.p_args = tuple(args)
+        self.p_kwargs = dict(kwargs)
+
+    def will_recover(self, rank: int) -> bool:
+        """Will a crash of ``rank`` be repaired by a restart?
+
+        Requires an enabled config, a bound program, at least one
+        checkpoint taken by the rank, and (V1 limitation) no earlier
+        crash of the same rank.
+        """
+        return (self.cfg.enabled
+                and self.program is not None
+                and rank not in self._restored
+                and rank not in self._unrecoverable
+                and self.versions.get(rank, -1) >= 0)
+
+    def recoverable(self, ranks) -> set[int]:
+        return {r for r in ranks if self.will_recover(r)}
+
+    def restore_event(self, rank: int) -> Event:
+        ev = self._restore_events.get(rank)
+        if ev is None:
+            ev = Event(self.env, name=f"ft-restore:r{rank}")
+            self._restore_events[rank] = ev
+        return ev
+
+    def pause_for_restore(self, origin: int, target: int, exc):
+        """Origin-side hold: an op hit a crashed-but-recoverable target.
+        Wait for the restart, then let the caller retry.  Re-raises when
+        the target will never come back."""
+        if target in self._restored:
+            return  # the restart already happened; retry immediately
+        if not self.will_recover(target):
+            raise exc
+        yield self.restore_event(target)
+
+    # ------------------------------------------------------------------
+    # protection + logging
+    # ------------------------------------------------------------------
+    def protect(self, rank: int, win) -> None:
+        if win.seg is None:
+            raise FTError(
+                f"window {win.win_id} ({win.flavor}) has no per-rank heap "
+                f"segment; only ALLOCATE/CREATE windows can be protected")
+        self.windows.setdefault(win.win_id, {})[rank] = win
+        self.protected.add(win.win_id)
+
+    def is_protected(self, win_id: int) -> bool:
+        return win_id in self.protected
+
+    def log_put(self, win_id: int, target: int, off: int, data: bytes) -> None:
+        """Record one delivered put piece (called inside the delivery
+        closure, after the bytes landed)."""
+        key = (win_id, target)
+        stamp = self.stamps.get(key, 0) + 1
+        self.stamps[key] = stamp
+        self.logs.setdefault(key, []).append((stamp, int(off), data))
+        self.stats.log_entries += 1
+        self.stats.log_bytes += len(data)
+
+    def log_amo(self, win_id: int, target: int, off: int, post: int) -> None:
+        """Record one *effective* atomic as the 8-byte post-value it left
+        behind (CAS failures and fetch-add-0 polls change nothing and are
+        never logged)."""
+        self.log_put(win_id, target, off,
+                     int(post & _MASK64).to_bytes(8, "little"))
+
+    # -- origin-side callbacks handed to the transport -----------------
+    def put_logger(self, win, target: int):
+        """Delivery callback for a put, or None when the window is not
+        log-protected.  ``off`` is segment-relative, matching replay."""
+        if self.cfg.policy != "log" or win.win_id not in self.protected:
+            return None
+        win_id = win.win_id
+
+        def _applied(off, piece):
+            self.log_put(win_id, target, off, bytes(piece))
+        return _applied
+
+    def amo_logger(self, win, target: int, cells, base_idx: int):
+        """Delivery callback for a single-cell atomic: receives the old
+        value, reads the post value back from the cell (still inside the
+        atomic closure) and logs it only when the op took effect."""
+        if self.cfg.policy != "log" or win.win_id not in self.protected:
+            return None
+        win_id = win.win_id
+
+        def _applied(old):
+            post = cells.load(base_idx)
+            if post != old:
+                self.log_amo(win_id, target, base_idx * 8, post)
+        return _applied
+
+    def amo_stream_logger(self, win, target: int, cells, base_idx: int):
+        """Delivery callback for an element-wise atomic stream: receives
+        the list of old values."""
+        if self.cfg.policy != "log" or win.win_id not in self.protected:
+            return None
+        win_id = win.win_id
+
+        def _applied(olds):
+            for i, old in enumerate(olds):
+                post = cells.load(base_idx + i)
+                if post != old:
+                    self.log_amo(win_id, target, (base_idx + i) * 8, post)
+        return _applied
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, ctx, win, state: dict):
+        """Snapshot ``win`` + protocol state for ``ctx.rank`` and deposit
+        the replica on the buddy node.  Generator (charges the copy cost);
+        the deposit itself is asynchronous and commits at delivery."""
+        rank = ctx.rank
+        env = self.env
+        t0 = env.now
+        version = self.versions.get(rank, -1) + 1
+        rec = _Checkpoint(version=version, rank=rank)
+        rec.app = dict(state)
+        rec.op_seq = getattr(ctx.dmapp, "_op_seq", None)
+        if ctx._coll is not None:
+            rec.coll_tag = ctx.coll._tag
+            rec.nbx_tag = ctx.coll._nbx_tag
+        checker = self.world.checker
+        if checker is not None:
+            rec.coll_seq = checker._coll_seq[rank]
+            rec.oseqs = {k: v for k, v in checker._oseq.items()
+                         if k[0] == rank}
+        ledger = self.world.lock_ledger
+        for w in ([win] if not isinstance(win, (list, tuple)) else win):
+            data = w.seg.snapshot_bytes()
+            snap = _WinSnap(
+                data=data,
+                crc=zlib.crc32(data),
+                ctrl=w.ctrl.snapshot() if w.ctrl is not None else [],
+                ledger_sums=(ledger.sums(w.win_id, rank)
+                             if ledger is not None else {}),
+                lock_snap=w.lock_state.snapshot(),
+                watermark=self.stamps.get((w.win_id, rank), 0),
+            )
+            rec.windows[w.win_id] = snap
+            rec.nbytes += len(data) + 8 * len(snap.ctrl)
+        self.versions[rank] = version
+        self.ckpts[(version, rank)] = rec
+        self.stats.checkpoints_taken += 1
+        self.stats.checkpoint_bytes += rec.nbytes
+
+        cost = int(round(rec.nbytes * self.cfg.ckpt_copy_ns_per_byte))
+        if cost > 0:
+            yield env.timeout(cost)
+
+        # Deposit on the buddy ring (original block placement: the buddy
+        # of a re-homed rank stays pinned to its first home).
+        orig_node = rank // self.world.rank_map.ranks_per_node
+        cur_node = self.world.rank_map.node_of(rank)
+        base = self.placement.base_nnodes
+        step = self.placement.step
+        for i in range(self.cfg.replicas):
+            buddy = (orig_node + (i + 1) * step) % base if base > 1 \
+                else orig_node
+            self.stats.replicas_deposited += 1
+            if buddy == cur_node:
+                self._commit(rec)
+            else:
+                self.world.network.packet(
+                    cur_node, buddy, rec.nbytes,
+                    on_deliver=lambda _t, r=rec: self._commit(r))
+        obs = self.world.obs
+        if obs is not None:
+            obs.rank_span(rank, "ft.checkpoint", t0, env.now, cat="ft",
+                          args={"version": version, "bytes": rec.nbytes})
+            obs.metrics.count("ft.checkpoint", rank)
+        env.note_progress()
+
+    def _commit(self, rec: _Checkpoint) -> None:
+        """Replica arrival: the checkpoint becomes restorable; older
+        committed versions and covered log entries are garbage-collected."""
+        if rec.cancelled or rec.arrived:
+            return
+        rec.arrived = True
+        self.stats.replicas_arrived += 1
+        self.stats.buddy_bytes += rec.nbytes
+        for v in range(rec.version):
+            old = self.ckpts.get((v, rec.rank))
+            if old is not None and (old.arrived or old.cancelled):
+                del self.ckpts[(v, rec.rank)]
+                if old.arrived:
+                    self.stats.buddy_bytes -= old.nbytes
+        for win_id, snap in rec.windows.items():
+            key = (win_id, rec.rank)
+            log = self.logs.get(key)
+            if log:
+                kept = [e for e in log if e[0] > snap.watermark]
+                dropped = len(log) - len(kept)
+                if dropped:
+                    self.logs[key] = kept
+                    self.stats.log_entries -= dropped
+
+    def _newest_valid(self, rank: int) -> _Checkpoint | None:
+        best = None
+        for (v, r), rec in self.ckpts.items():
+            if r == rank and rec.arrived and not rec.cancelled:
+                if best is None or v > best.version:
+                    best = rec
+        return best
+
+    # ------------------------------------------------------------------
+    # win_free vs in-flight checkpoints (satellite: cancel the replica)
+    # ------------------------------------------------------------------
+    def release_window(self, rank: int, win) -> None:
+        """The rank freed ``win``: cancel in-flight replicas covering it,
+        release committed buddy-side copies, and drop its logs."""
+        win_id = win.win_id
+        wins = self.windows.get(win_id)
+        if wins is not None:
+            wins.pop(rank, None)
+            if not wins:
+                self.protected.discard(win_id)
+                del self.windows[win_id]
+        for (v, r), rec in list(self.ckpts.items()):
+            if r != rank or win_id not in rec.windows:
+                continue
+            if rec.arrived:
+                self.stats.buddy_bytes -= rec.nbytes
+            else:
+                self.stats.checkpoints_cancelled += 1
+            rec.cancelled = True
+            del self.ckpts[(v, r)]
+        key = (win_id, rank)
+        log = self.logs.pop(key, None)
+        if log:
+            self.stats.log_entries -= len(log)
+
+    # ------------------------------------------------------------------
+    # restart
+    # ------------------------------------------------------------------
+    def make_restore_hook(self):
+        """Revocation hook for the failure notifier (runs after the PR-4
+        survivor-side revocation in registration order)."""
+        def _hook(failed_ranks):
+            yield from self._restore(failed_ranks)
+        return _hook
+
+    def _restore(self, failed_ranks):
+        env = self.env
+        cohort = sorted(self.recoverable(failed_ranks))
+        if not cohort:
+            return
+        t0 = env.now
+        recs: dict[int, _Checkpoint] = {}
+        for r in cohort:
+            rec = self._newest_valid(r)
+            if rec is not None:
+                for win_id, snap in rec.windows.items():
+                    if zlib.crc32(snap.data) != snap.crc:
+                        rec = None
+                        break
+            if rec is None:
+                # No committed (or checksum-clean) checkpoint: the whole
+                # node cohort is unrecoverable.  Fire the events anyway so
+                # paused origins retry, re-hit quarantine and surface the
+                # structured error instead of hanging.
+                self._unrecoverable.update(cohort)
+                self.stats.unrecoverable += len(cohort)
+                self.world.injector._trace(
+                    "ft-unrecoverable",
+                    f"rank {r}: no valid checkpoint; cohort {cohort} lost")
+                self._fire_restore_events(cohort)
+                return
+            recs[r] = rec
+
+        # Charge the restore: re-registration per adopted segment, byte
+        # copy of every restored window, one charge per replayed entry.
+        cost = 0
+        replays: dict[int, list] = {}
+        for r in cohort:
+            rec = recs[r]
+            for win_id, snap in rec.windows.items():
+                cost += self.cfg.rereg_ns_per_segment
+                cost += int(round(len(snap.data)
+                                  * self.cfg.restore_ns_per_byte))
+                entries = [e for e in self.logs.get((win_id, r), [])
+                           if e[0] > snap.watermark]
+                entries.sort(key=lambda e: e[0])
+                replays[(win_id, r)] = entries
+                cost += len(entries) * self.cfg.replay_ns_per_entry
+        if cost > 0:
+            yield env.timeout(cost)
+
+        # Pick the adoption node and rehome only *now*, at the instant the
+        # memory rewrite below executes.  Rehoming before the cost timeout
+        # would resolve the dead rank to a live (never-crashed) node while
+        # the restore is still in flight: survivor ops would pass the
+        # quarantine check, land in the window, and then be wiped by
+        # restore_bytes.  Until this point they keep hitting the original
+        # crashed node and park in pause_for_restore.
+        orig_node = cohort[0] // self.world.rank_map.ranks_per_node
+        if (self.cfg.mode == "spare"
+                and self._spares_used < self.cfg.spares):
+            node = self.placement.spare_node(self._spares_used)
+            self._spares_used += 1
+            self.stats.spares_used += 1
+        else:
+            node = self.placement.buddy_of(orig_node)
+        self._generation += 1
+        for r in cohort:
+            self.world.rank_map.rehome(r, node, self._generation)
+
+        ledger = self.world.lock_ledger
+        for r in cohort:
+            rec = recs[r]
+            for win_id, snap in rec.windows.items():
+                win = self.windows[win_id][r]
+                win.seg.restore_bytes(snap.data)
+                # Control words: checkpoint value plus the revocation
+                # ledger's *post-checkpoint* delta, so survivor lock
+                # traffic that landed after the snapshot is kept and
+                # pre-snapshot contributions are not double-counted.
+                sums_now = (ledger.sums(win_id, r)
+                            if ledger is not None else {})
+                for idx, ck_val in enumerate(snap.ctrl):
+                    val = (ck_val + sums_now.get(idx, 0)
+                           - snap.ledger_sums.get(idx, 0)) & _MASK64
+                    if val != win.ctrl.load(idx):
+                        win.ctrl.store(idx, val)  # wakes word watchers
+                win.lock_state.restore(snap.lock_snap)
+                for stamp, off, data in replays[(win_id, r)]:
+                    win.seg.restore_bytes(data, off)
+                    self.stats.entries_replayed += 1
+            self._respawn(r, rec)
+        self._fire_restore_events(cohort)
+        notifier = self.world.notifier
+        if notifier is not None:
+            notifier.absolve(cohort)
+        inj = self.world.injector
+        inj.stats.ranks_restored += len(cohort)
+        self.stats.restores += 1
+        self.stats.ranks_restored += len(cohort)
+        self.stats.restore_ns += env.now - t0
+        inj._trace("ft-restore",
+                   f"ranks {cohort} restored on node {node} "
+                   f"(gen {self._generation})")
+        obs = self.world.obs
+        if obs is not None:
+            obs.nic_span(node, "ft.restore", t0, env.now, cat="ft",
+                         args={"ranks": len(cohort), "node": node})
+            obs.metrics.observe("ft_restore_ns", 0, env.now - t0)
+        env.note_progress()
+
+    def _fire_restore_events(self, cohort) -> None:
+        for r in cohort:
+            ev = self._restore_events.get(r)
+            if ev is not None and not ev.triggered:
+                ev.succeed(r)
+
+    def _respawn(self, rank: int, rec: _Checkpoint) -> None:
+        """Build a fresh context for the restored rank and re-enter the
+        program from the checkpointed application state."""
+        from repro.runtime.process import RankContext
+
+        world = self.world
+        ctx = RankContext(world, rank)
+        # Adopt the preserved window objects: rebind them to the fresh
+        # context so their transport calls use the new endpoints.
+        max_win = -1
+        for win_id, wins in self.windows.items():
+            win = wins.get(rank)
+            if win is not None:
+                win.ctx = ctx
+                max_win = max(max_win, win_id)
+                snap = rec.windows.get(win_id)
+                if snap is not None and snap.lock_snap.get("lock_all_held"):
+                    ctx.ft._restored_lock_all.add(win_id)
+        ctx.rma._next_win = max_win + 1
+        if rec.op_seq is not None and hasattr(ctx.dmapp, "_op_seq"):
+            # Restored origin sequence numbers make re-executed atomics
+            # hit the injector's replay dedup: exactly-once effects.
+            ctx.dmapp._op_seq = rec.op_seq
+        if rec.coll_tag or rec.nbx_tag:
+            ctx.coll._tag = rec.coll_tag
+            ctx.coll._nbx_tag = rec.nbx_tag
+        checker = world.checker
+        if checker is not None:
+            checker.on_restore(rank, rec.coll_seq, rec.oseqs)
+        ctx.ft._restored_state = dict(rec.app)
+        self._restored.add(rank)
+
+        def _runner():
+            value = yield from self.program(ctx, *self.p_args,
+                                            **self.p_kwargs)
+            self.returns[rank] = value
+            return value
+
+        self.env.process(_runner(), name=f"rank{rank}:r2")
+
+
+class FTContext:
+    """Per-rank facade over the world's :class:`FTRuntime` (``ctx.ft``)."""
+
+    def __init__(self, rt: FTRuntime, ctx) -> None:
+        self.rt = rt
+        self.ctx = ctx
+        self._restored_state: dict | None = None
+        self._restored_lock_all: set[int] = set()
+
+    # -- workload API --------------------------------------------------
+    @property
+    def restarting(self) -> bool:
+        """True inside a restarted incarnation of the program."""
+        return self.ctx.rank in self.rt._restored \
+            and self._restored_state is not None
+
+    def protect(self, win) -> None:
+        """Enroll a window for checkpointing (and, under policy
+        ``"log"``, delivery-time put/atomic logging)."""
+        self.rt.protect(self.ctx.rank, win)
+
+    def adopt(self, win_id: int):
+        """Restarted rank: take over the preserved, already-restored
+        window object instead of re-allocating."""
+        win = self.rt.windows.get(win_id, {}).get(self.ctx.rank)
+        if win is None:
+            raise FTError(f"rank {self.ctx.rank}: no protected window "
+                          f"{win_id} to adopt")
+        return win
+
+    def restored_state(self) -> dict:
+        """Application state carried by the restored checkpoint."""
+        if self._restored_state is None:
+            raise FTError(f"rank {self.ctx.rank} is not restarting")
+        return self._restored_state
+
+    def checkpoint(self, win, state: dict):
+        """Generator: snapshot + buddy deposit (see FTRuntime.checkpoint)."""
+        return self.rt.checkpoint(self.ctx, win, state)
+
+    def release_window(self, win) -> None:
+        self.rt.release_window(self.ctx.rank, win)
+
+    # -- protocol hooks ------------------------------------------------
+    def logged(self, win) -> bool:
+        """True when remote deltas to ``win`` must be loggable (the
+        window is protected under policy ``"log"``)."""
+        return (self.rt.cfg.policy == "log"
+                and self.rt.is_protected(win.win_id))
+    def consume_restored_lock_all(self, win) -> bool:
+        """One-shot: the restored rank held a lock_all epoch at its
+        checkpoint; its re-executed ``lock_all`` re-enters the epoch
+        without touching the (already reconciled) lock words."""
+        if win.win_id in self._restored_lock_all:
+            self._restored_lock_all.discard(win.win_id)
+            return True
+        return False
+
+    def put_logger(self, win, target: int):
+        return self.rt.put_logger(win, target)
+
+    def amo_logger(self, win, target: int, cells, base_idx: int):
+        return self.rt.amo_logger(win, target, cells, base_idx)
+
+    def amo_stream_logger(self, win, target: int, cells, base_idx: int):
+        return self.rt.amo_stream_logger(win, target, cells, base_idx)

@@ -82,15 +82,46 @@ class RankMap:
     def __post_init__(self) -> None:
         if self.nranks < 1 or self.ranks_per_node < 1:
             raise ValueError("nranks and ranks_per_node must be positive")
+        # Fault-tolerance re-homing: rank -> (node, placement generation).
+        # Empty for every run without rollback recovery, in which case all
+        # placement queries reduce to the original block arithmetic.
+        self._overrides: dict[int, tuple[int, int]] = {}
 
     @property
     def nnodes(self) -> int:
         return (self.nranks + self.ranks_per_node - 1) // self.ranks_per_node
 
     def node_of(self, rank: int) -> int:
+        if self._overrides:
+            ov = self._overrides.get(rank)
+            if ov is not None:
+                return ov[0]
         if not 0 <= rank < self.nranks:
             raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
         return rank // self.ranks_per_node
+
+    def home_generation(self, rank: int) -> int:
+        """0 for ranks on their original node; bumped by :meth:`rehome`.
+
+        Two ranks share local (XPMEM) memory only when they are on the
+        same node *and* in the same placement generation: a restarted rank
+        re-exchanges attach tokens only with the cohort it was restored
+        with, never with ranks that merely became co-located by re-homing.
+        """
+        if self._overrides:
+            ov = self._overrides.get(rank)
+            if ov is not None:
+                return ov[1]
+        return 0
+
+    def rehome(self, rank: int, node: int, generation: int) -> None:
+        """Move ``rank`` to ``node`` (rollback recovery adopting a spare or
+        shrinking onto a buddy node)."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range (nranks={self.nranks})")
+        if node < 0:
+            raise ValueError(f"cannot rehome rank {rank} to node {node}")
+        self._overrides[rank] = (node, int(generation))
 
     def ranks_on(self, node: int) -> range:
         lo = node * self.ranks_per_node
@@ -100,6 +131,9 @@ class RankMap:
         return range(lo, hi)
 
     def same_node(self, a: int, b: int) -> bool:
+        if self._overrides:
+            return (self.node_of(a) == self.node_of(b)
+                    and self.home_generation(a) == self.home_generation(b))
         return self.node_of(a) == self.node_of(b)
 
     @classmethod

@@ -74,6 +74,26 @@ class Segment:
             self.watch("store", offset, arr.size)
         self.buf[offset:offset + arr.size] = arr
 
+    def snapshot_bytes(self) -> bytes:
+        """Checkpoint copy of the whole segment.
+
+        Bypasses the memory-model watch: a checkpoint is infrastructure,
+        not an application access, and must not fabricate happens-before
+        shadow records."""
+        if not self.alive:
+            raise MemoryError_(
+                f"snapshot of freed segment {self.label or self.seg_id}")
+        return self.buf.tobytes()
+
+    def restore_bytes(self, data, off: int = 0) -> None:
+        """Restore-time overwrite, also invisible to the watch."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            arr = np.frombuffer(data, dtype=np.uint8)
+        else:
+            arr = np.asarray(data, dtype=np.uint8).ravel()
+        self._check(off, arr.size)
+        self.buf[off:off + arr.size] = arr
+
     def typed(self, dtype, offset: int = 0, count: int | None = None) -> np.ndarray:
         """A typed view over the segment (zero-copy)."""
         dt = np.dtype(dtype)

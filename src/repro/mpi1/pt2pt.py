@@ -96,6 +96,13 @@ class Mpi1Endpoint:
     """One rank's two-sided messaging engine."""
 
     _seq = itertools.count(1)
+    # Rollback-recovery runtime (repro.ft), assigned by RankContext for
+    # FT runs.  Two-sided traffic is NOT logged/replayed -- messages in a
+    # dead rank's unexpected queue die with it -- so FT merely holds
+    # sends addressed to a recoverable rank until its restart instead of
+    # failing them.  Crashes must not overlap two-sided phases (documented
+    # V1 limitation; the FT workloads only use collectives during setup).
+    ft = None
 
     def __init__(
         self,
@@ -185,7 +192,15 @@ class Mpi1Endpoint:
               sync: bool = False):
         """Nonblocking send; generator returning a :class:`Request`."""
         n = wire_size(payload) if nbytes is None else int(nbytes)
-        self._quarantine_check(dest, "send")
+        if self.ft is None:
+            self._quarantine_check(dest, "send")
+        else:
+            while True:
+                try:
+                    self._quarantine_check(dest, "send")
+                    break
+                except NodeCrashedError as exc:
+                    yield from self.ft.pause_for_restore(self.rank, dest, exc)
         self.env.api_sites[f"rank{self.rank}"] = (
             f"mpi.isend(dest={dest}, tag={tag}, {n}B)")
         req = Request(self, "send")

@@ -90,8 +90,11 @@ def accumulate(win, data, target: int, target_disp: int, op: Op, *,
             old = yield from ctx.xpmem.amo_stream(cells, base_idx, hw,
                                                   operands, fetch=fetch)
         else:
+            logger = (ctx.ft.amo_stream_logger(win, target, cells, base_idx)
+                      if ctx.ft is not None else None)
             h = yield from ctx.dmapp.amo_stream_nbi(target, cells, base_idx,
-                                                    hw, operands, fetch=fetch)
+                                                    hw, operands, fetch=fetch,
+                                                    on_applied=logger)
             if fetch:
                 yield from ctx.dmapp.wait(h)
             old = h.result
@@ -108,6 +111,14 @@ def accumulate(win, data, target: int, target_disp: int, op: Op, *,
 def _locked_fallback(win, arr: np.ndarray, target: int, toff: int, op: Op):
     """Lock-get-modify-put protocol on the internal accumulate lock."""
     ctx = win.ctx
+    if (ctx.ft is not None and ctx.ft.logged(win)
+            and not ctx.same_node(target)):
+        from repro.errors import FTError
+        raise FTError(
+            f"software-fallback accumulate (op={op.name}) on protected "
+            f"window {win.win_id}: the lock-get-modify-put sequence cannot "
+            f"be logged as a deterministic delta; use an 8-byte integer "
+            f"HW op or unprotect the window")
     attempt = 0
     # Acquire the internal exclusive lock (CAS 0 -> 1 on IDX_ACC_LOCK).
     while True:
@@ -193,8 +204,10 @@ def fetch_and_op(win, value, target: int, target_disp: int, op: Op):
         if ctx.same_node(target):
             old = yield from ctx.xpmem.amo(cells, idx, op.hw_name, operand)
         else:
+            logger = (ctx.ft.amo_logger(win, target, cells, idx)
+                      if ctx.ft is not None else None)
             old = yield from ctx.dmapp.amo_b(target, cells, idx, op.hw_name,
-                                             operand)
+                                             operand, on_applied=logger)
         return np.uint64(old).view(np.dtype(arr.dtype))
     old = yield from _locked_fallback(win, arr, target, toff, op)
     return old[0]
@@ -216,5 +229,8 @@ def compare_and_swap(win, compare, swap, target: int, target_disp: int):
     if ctx.same_node(target):
         old = yield from ctx.xpmem.amo(cells, idx, "cas", c, s)
     else:
-        old = yield from ctx.dmapp.amo_b(target, cells, idx, "cas", c, s)
+        logger = (ctx.ft.amo_logger(win, target, cells, idx)
+                  if ctx.ft is not None else None)
+        old = yield from ctx.dmapp.amo_b(target, cells, idx, "cas", c, s,
+                                         on_applied=logger)
     return np.uint64(old).view(comp_arr.dtype)

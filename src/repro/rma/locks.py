@@ -54,6 +54,21 @@ class LockState:
     retries: int = 0                           # back-off statistics
     acquired_at: dict = field(default_factory=dict)  # obs: target -> ns
 
+    def snapshot(self) -> dict:
+        """Checkpointable protocol state (repro.ft): what the restored
+        incarnation must believe it holds.  Timings/statistics stay out --
+        they belong to the incarnation, not the protocol."""
+        return {
+            "held": dict(self.held),
+            "lock_all_held": self.lock_all_held,
+            "exclusive_count": self.exclusive_count,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.held = dict(snap["held"])
+        self.lock_all_held = snap["lock_all_held"]
+        self.exclusive_count = snap["exclusive_count"]
+
 
 def _backoff(win, attempt: int):
     """Deterministic exponential back-off (the paper: 'All waits/retries
@@ -241,6 +256,16 @@ def lock_all(win):
     """MPI_Win_lock_all: a *shared* lock on every rank via one AMO on the
     global word (the spec has no exclusive lock_all)."""
     st = win.lock_state
+    ctx = win.ctx
+    if ctx.ft is not None and ctx.ft.consume_restored_lock_all(win):
+        # Restarted incarnation re-executing its program from the top: the
+        # checkpoint says this epoch was already open and the global-word
+        # registration survived the crash (lock words are checkpointed
+        # state, not revoked for recoverable ranks) -- re-enter silently
+        # without touching the master's word again.
+        st.lock_all_held = True
+        win.epoch_access = "lock_all"
+        return
     if win.epoch_access is not None:
         raise LockError(f"lock_all() during a {win.epoch_access!r} epoch")
     if st.lock_all_held:

@@ -88,6 +88,17 @@ class RevocationLedger:
         else:
             self._net.pop(key, None)
 
+    def sums(self, win_id: int, target: int) -> dict[int, int]:
+        """Non-destructive view for the FT layer: total net contribution
+        to each lock word ``idx`` of ``target``'s window, summed over all
+        origins.  Checkpoints record this; restore re-applies only the
+        delta accrued since (see repro.ft.core)."""
+        out: dict[int, int] = {}
+        for (w, t, idx, _origin), delta in self._net.items():
+            if w == win_id and t == target:
+                out[idx] = out.get(idx, 0) + delta
+        return out
+
     def debts_of(self, failed_ranks) -> list:
         """Pop and return ``(win_id, target, idx, origin, delta)`` for
         every net contribution owed by a dead origin."""
@@ -244,6 +255,13 @@ def install(world) -> None:
 def _revoke(world, failed_ranks):
     rec = world.faults.recovery
     failed = set(failed_ranks)
+    if world.ft is not None:
+        # Ranks the FT layer will restore keep their protocol state: their
+        # lock-word contributions, queue slots, registrations and heap
+        # segments are rolled back to a checkpoint, not revoked.
+        failed -= world.ft.recoverable(failed)
+        if not failed:
+            return
     if rec.revoke_locks:
         yield from _revoke_lock_words(world, failed)
         _spawn_mcs_zombies(world, failed)

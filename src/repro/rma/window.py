@@ -211,12 +211,15 @@ class Window:
                         self.xtokens[target], toff + t_off,
                         raw[o_off:o_off + n])
         else:
+            logger = (ctx.ft.put_logger(self, target)
+                      if ctx.ft is not None else None)
             for o_off, t_off, n in pieces:
                 desc = self._target_desc(target, toff + t_off, n)
                 base = ((self.base_vaddr - desc.vaddr)
                         if self.flavor is WinFlavor.ALLOCATE else 0)
                 h = yield from ctx.dmapp.put_nbi(
-                    desc, base + toff + t_off, raw[o_off:o_off + n])
+                    desc, base + toff + t_off, raw[o_off:o_off + n],
+                    on_applied=logger)
                 handles.append(h)
         return handles
 
@@ -451,6 +454,10 @@ class Window:
         self._check_alive()
         if self.lock_state.held or self.lock_state.lock_all_held:
             raise RmaError("freeing a window while holding locks")
+        if self.ctx.ft is not None:
+            # Cancel in-flight replica deposits and release buddy-side
+            # checkpoint memory before the segment itself goes away.
+            self.ctx.ft.release_window(self)
         if self.ctx.notifier is None:
             yield from self.ctx.coll.barrier()
         else:

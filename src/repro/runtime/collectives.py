@@ -72,7 +72,21 @@ class IBarrier:
 
     def __init__(self, ctx, tag: int) -> None:
         self.ctx = ctx
+        # Race checker: the ibarrier is a collective too -- deposit at
+        # issue, acquire once at the first completion *observation*
+        # (test() or wait()); before that, no happens-before edge exists
+        # for this rank even if the child process finished already.
+        ck = ctx.checker
+        self._cseq = ck.coll_enter(ctx.rank) if ck is not None else None
+        self._acquired = False
         self._proc = ctx.env.process(self._run(tag), name=f"ibarrier@{ctx.rank}")
+
+    def _observe_completion(self) -> None:
+        if self._acquired:
+            return
+        self._acquired = True
+        if self._cseq is not None:
+            self.ctx.checker.coll_exit(self.ctx.rank, self._cseq)
 
     def _run(self, tag: int):
         ctx = self.ctx
@@ -90,11 +104,15 @@ class IBarrier:
             raise
 
     def test(self) -> bool:
-        return self._proc.triggered
+        done = self._proc.triggered
+        if done:
+            self._observe_completion()
+        return done
 
     def wait(self):
         if not self._proc.triggered:
             yield self._proc
+        self._observe_completion()
 
 
 class Collectives:

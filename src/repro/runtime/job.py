@@ -131,6 +131,10 @@ def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
                                name=f"rank{ctx.rank}")
              for ctx in contexts]
     inj = world.injector
+    if world.ft is not None:
+        # Restarts re-enter the program from its checkpointed state; the
+        # runtime must know what to re-enter.
+        world.ft.bind(program, args, kwargs)
     if inj is not None and inj.has_crashes:
         world.env.process(_crash_reaper(world, procs), name="crash-reaper")
     if world.notifier is not None:
@@ -148,6 +152,10 @@ def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
                 node = world.rank_map.node_of(rank)
                 value = NodeCrashedError(node, inj.crash_time(node) or 0,
                                          f"rank {rank} killed")
+        if world.ft is not None and rank in world.ft.returns:
+            # A restarted incarnation ran the rank to completion; its
+            # return value supersedes the dead incarnation's Interrupt.
+            value = world.ft.returns[rank]
         returns.append(value)
 
     stats = world.counters.snapshot()
@@ -157,6 +165,8 @@ def run_on_world(world: World, program: Callable, *args, **kwargs) -> RunResult:
             stats["fault_trace_counts"] = dict(world.env.tracer.fault_counts)
     if world.checker is not None:
         stats["check"] = world.checker.stats_snapshot()
+    if world.ft is not None:
+        stats["ft"] = world.ft.stats.snapshot()
     return RunResult(
         returns=returns,
         sim_time_ns=world.env.now,

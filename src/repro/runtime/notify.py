@@ -96,6 +96,14 @@ class FailureNotifier:
             self._events[rank] = ev
         return ev
 
+    def absolve(self, ranks: Iterable[int]) -> None:
+        """Rollback recovery restored ``ranks``: erase them from every
+        survivor's known-failure set, so post-restore acquisitions and
+        epochs treat them as live peers again."""
+        dead = set(ranks)
+        for known in self._known:
+            known -= dead
+
     def on_revoke(self, hook: Callable) -> None:
         """Register a revocation hook: a callable
         ``hook(failed_ranks) -> generator`` run (in registration order)

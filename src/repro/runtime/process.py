@@ -61,6 +61,14 @@ class RankContext:
         # ``is None`` gate every protocol-layer recovery hook tests).
         self.notifier = world.notifier
         self.lock_ledger = world.lock_ledger
+        # Rollback recovery (same None-when-off contract).
+        self.ft = None
+        if world.ft is not None:
+            from repro.ft.core import FTContext
+
+            self.ft = FTContext(world.ft, self)
+            self.dmapp.ft = world.ft
+            self.mpi.ft = world.ft
         self._coll = None
         self._rma = None
         self._upc = None

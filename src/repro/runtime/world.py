@@ -107,7 +107,15 @@ class World:
                                            obs=self.obs)
                 csink.append(self.checker)
         self.rank_map = RankMap.for_config(nranks, self.machine)
-        self.torus = Torus3D(self.machine.derive_torus(nranks))
+        # Rollback recovery holds spare nodes out of the initial placement;
+        # the torus must cover them so replica/restore traffic to spares
+        # pays real modeled hop counts.
+        ft_cfg = self.faults.ft
+        if ft_cfg.enabled and ft_cfg.spares > 0:
+            torus_ranks = nranks + ft_cfg.spares * self.rank_map.ranks_per_node
+        else:
+            torus_ranks = nranks
+        self.torus = Torus3D(self.machine.derive_torus(torus_ranks))
         self.counters = OpCounters()
         self.network = Network(self.env, self.torus, self.rank_map,
                                self.gemini, self.counters,
@@ -134,6 +142,17 @@ class World:
             if self.faults.recovery.revoke_locks:
                 self.lock_ledger = recovery.RevocationLedger()
             recovery.install(self)
+        # Rollback recovery (checkpoint + log + restart).  Constructed for
+        # any FT-enabled run -- including fault-free ones, so the overhead
+        # benchmark can measure checkpoint cost without an injector.  The
+        # restore hook needs the notifier and runs after revocation.
+        self.ft = None
+        if self.faults.ft.enabled:
+            from repro.ft.core import FTRuntime
+
+            self.ft = FTRuntime(self)
+            if self.notifier is not None:
+                self.notifier.on_revoke(self.ft.make_restore_hook())
 
     def rng(self, purpose: str, rank: int = 0):
         """Deterministic random stream for (purpose, rank)."""

@@ -1,0 +1,198 @@
+"""Rollback recovery (repro.ft): checkpointing, put-logging, restart.
+
+The contract under test is *crash to completion*: a run that loses a
+rank mid-flight finishes anyway, and its final application state is
+bit-identical to the fault-free run of the same seed -- under both
+``spare`` (adopt an idle node) and ``shrink`` (re-home onto the buddy)
+recovery, for any crash rank, deterministically.
+"""
+
+import pytest
+
+from repro import run_spmd
+from repro.config import CheckConfig, FTConfig, NodeCrash, SimConfig
+from repro.errors import FaultError, FTError
+from repro.ft.workloads import (
+    ft_faults,
+    ft_hashtable,
+    ft_machine,
+    run_crash_to_completion,
+    run_reference,
+    run_spmd_ft,
+    soak,
+    table_bytes,
+)
+
+NRANKS, INSERTS = 4, 4
+
+
+# ---------------------------------------------------------------------------
+# crash to completion
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["spare", "shrink"])
+@pytest.mark.parametrize("crash_rank", [0, 2])
+def test_crash_to_completion_bit_identical(crash_rank, mode):
+    """A mid-run crash of any rank -- including rank 0, who owns the
+    master lock word and the completion counter -- recovers to the exact
+    fault-free final table."""
+    out = run_crash_to_completion(NRANKS, INSERTS, crash_rank=crash_rank,
+                                  mode=mode)
+    assert out.match, f"recovered table diverged ({crash_rank}/{mode})"
+    row = out.stats_row()
+    assert row["ranks_restored"] == 1
+    ft = row["ft"]
+    assert ft["restores"] == 1
+    assert ft["unrecoverable"] == 0
+    if mode == "spare":
+        assert ft["spares_used"] == 1
+
+
+def test_same_seed_rerun_bit_identical():
+    """The recovered schedule itself is deterministic: same seed, same
+    crash, bit-identical returns / clock / event count."""
+    runs = [run_crash_to_completion(NRANKS, INSERTS, seed=77,
+                                    crash_rank=1, mode="spare")
+            for _ in range(2)]
+    a, b = (r.recovered for r in runs)
+    assert table_bytes(a) == table_bytes(b)
+    assert a.sim_time_ns == b.sim_time_ns
+    assert a.events_processed == b.events_processed
+
+
+def test_checkpointing_does_not_change_the_answer():
+    """FT-on fault-free runs pay overhead in time only: the final table
+    matches the FT-off baseline bit for bit."""
+    base = run_reference(NRANKS, INSERTS, ft_on=False)
+    ft = run_reference(NRANKS, INSERTS, ft_on=True)
+    assert table_bytes(base) == table_bytes(ft)
+    assert ft.stats["ft"]["checkpoints_taken"] > 0
+    assert "ft" not in base.stats
+
+
+def _uncheckpointed_victim_program(ctx):
+    import numpy as np
+    win = yield from ctx.rma.win_allocate(256)
+    ctx.ft.protect(win)
+    yield from win.lock_all()
+    if ctx.rank != 2:
+        yield from ctx.ft.checkpoint(win, {"win_id": win.win_id})
+    data = np.ones(8, np.uint8)
+    for i in range(50):
+        yield from win.put(data, 2, 8 * ((i + ctx.rank) % 16))
+        yield from win.flush(2)
+    yield from win.unlock_all()
+    return "ok"
+
+
+def test_crash_without_checkpoint_is_unrecoverable_but_terminates():
+    """Rank 2 dies having never checkpointed: no restart is possible,
+    but survivors must terminate with structured errors -- paused origins
+    re-raise instead of waiting for a restore that can never happen."""
+    faults = ft_faults(crashes=(NodeCrash(2, 30_000),), mode="spare")
+    res = run_spmd(_uncheckpointed_victim_program, NRANKS,
+                   machine=ft_machine(), sim=SimConfig(seed=SimConfig.seed),
+                   faults=faults)
+    assert all(isinstance(r, FaultError) for r in res.returns)
+    assert res.stats["ft"]["restores"] == 0
+
+
+def test_crash_recovery_is_checker_clean():
+    """The restore path (snapshot rollback + log replay + respawn) must
+    not fabricate RMA memory-model violations: the happens-before edges
+    installed at restore keep the checker clean."""
+    faults = ft_faults(crashes=(NodeCrash(2, 13_000),), mode="spare")
+    res = run_spmd(ft_hashtable, NRANKS, NRANKS * INSERTS, INSERTS,
+                   machine=ft_machine(), sim=SimConfig(seed=SimConfig.seed),
+                   faults=faults, check=CheckConfig(enabled=True))
+    assert res.stats["ft"]["restores"] == 1
+    assert res.check is not None and res.check.clean, \
+        [v.describe() for v in res.check.violations]
+
+
+def test_soak_smoke():
+    """Two seeded randomized schedules recover to the fault-free state
+    (the CI job runs more)."""
+    rows = soak(2)
+    assert all(r["match"] for r in rows)
+    # Derived schedules are themselves deterministic.
+    assert soak(2) == rows
+
+
+# ---------------------------------------------------------------------------
+# win_free vs in-flight checkpoints (satellite 6)
+# ---------------------------------------------------------------------------
+def _free_mid_deposit_program(ctx):
+    win = yield from ctx.rma.win_allocate(512)
+    ctx.ft.protect(win)
+    yield from ctx.ft.checkpoint(win, {"win_id": win.win_id})
+    # Free immediately: the buddy replica packet is still on the wire.
+    yield from win.free()
+    return "ok"
+
+
+def test_win_free_cancels_inflight_replica():
+    """Freeing a window while its checkpoint replica is still in flight
+    cancels the deposit (the late packet commits nothing) and releases
+    every buddy-side byte."""
+    res = run_spmd(_free_mid_deposit_program, NRANKS,
+                   machine=ft_machine(), faults=ft_faults())
+    assert list(res.returns) == ["ok"] * NRANKS
+    ft = res.stats["ft"]
+    assert ft["checkpoints_taken"] == NRANKS
+    assert ft["checkpoints_cancelled"] == NRANKS
+    assert ft["replicas_arrived"] == 0
+    assert ft["buddy_bytes"] == 0
+    assert ft["log_entries"] == 0
+
+
+def _free_after_commit_program(ctx):
+    win = yield from ctx.rma.win_allocate(512)
+    ctx.ft.protect(win)
+    yield from ctx.ft.checkpoint(win, {"win_id": win.win_id})
+    yield from ctx.compute(50_000)  # let the replica arrive and commit
+    yield from win.free()
+    return "ok"
+
+
+def test_win_free_releases_committed_buddy_memory():
+    res = run_spmd(_free_after_commit_program, NRANKS,
+                   machine=ft_machine(), faults=ft_faults())
+    assert list(res.returns) == ["ok"] * NRANKS
+    ft = res.stats["ft"]
+    assert ft["replicas_arrived"] == NRANKS
+    assert ft["checkpoints_cancelled"] == 0
+    assert ft["buddy_bytes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# guards
+# ---------------------------------------------------------------------------
+def _adopt_unknown_program(ctx):
+    yield from ctx.coll.barrier()
+    try:
+        ctx.ft.adopt(99)
+    except FTError:
+        return "guarded"
+    return "missed"
+
+
+def test_adopt_unknown_window_raises():
+    res = run_spmd(_adopt_unknown_program, 2, machine=ft_machine(),
+                   faults=ft_faults())
+    assert list(res.returns) == ["guarded", "guarded"]
+
+
+def test_ftconfig_validation():
+    with pytest.raises(ValueError, match="interval"):
+        FTConfig(enabled=True, interval=0)
+    with pytest.raises(ValueError, match="mode"):
+        FTConfig(enabled=True, mode="migrate")
+    with pytest.raises(ValueError, match="policy"):
+        FTConfig(enabled=True, policy="undo")
+    with pytest.raises(ValueError, match="replicas"):
+        FTConfig(enabled=True, replicas=0)
+
+
+def test_workload_rejects_colliding_layout():
+    with pytest.raises(ValueError, match="collision-free"):
+        run_spmd(ft_hashtable, 4, 8, 4, machine=ft_machine())

@@ -440,6 +440,39 @@ def test_collective_annotation_innermost_wins():
 
 
 # ---------------------------------------------------------------------------
+# retransmit chains that straddle a crash
+# ---------------------------------------------------------------------------
+def _put_stream_program(ctx):
+    import numpy as np
+    win = yield from ctx.rma.win_allocate(4096)
+    yield from win.lock_all()
+    if ctx.rank == 0:
+        data = np.ones(64, np.uint8)
+        for i in range(40):
+            yield from win.put(data, 1, 64 * i)
+            yield from win.flush(1)
+    yield from win.unlock_all()
+    return "ok"
+
+
+def test_crash_straddling_retransmits_convert_to_crash_error():
+    """Rank 1 dies while rank 0's put stream is in flight: deliveries
+    planned past the crash instant come back lost, and the origin's
+    retransmit chain must surface NodeCrashedError at the first attempt
+    planned past the crash, NOT a DeadlineError after exhausting all 64
+    retries against a dead node (which would also reserve ~3 ms of
+    injection-channel slots per op)."""
+    faults = crash_plan((1, 30_000))
+    res = run_spmd(_put_stream_program, 2, machine=INTER, faults=faults)
+    assert isinstance(res.returns[0], NodeCrashedError)
+    # Far fewer retransmits than a full 65-attempt exhaustion per put.
+    assert res.stats["retransmits"] < 65
+    # Deterministic replay of the recovered schedule.
+    res2 = run_spmd(_put_stream_program, 2, machine=INTER, faults=faults)
+    assert _fingerprint(res) == _fingerprint(res2)
+
+
+# ---------------------------------------------------------------------------
 # satellite: construction-time validation
 # ---------------------------------------------------------------------------
 def test_fault_plan_validation():
@@ -507,6 +540,19 @@ _FAULTS = {
         stalls=(NicStall(node=1, start_ns=10_000, duration_ns=40_000),))),
     "crash": FaultConfig(plan=FaultPlan(
         crashes=(NodeCrash(node=3, time_ns=150_000),))),
+    # Crash with every packet also delayed: deliveries straddle the
+    # crash instant, so detection and revocation race in-flight traffic.
+    "crash+delay": FaultConfig(plan=FaultPlan(
+        delay_prob=0.3, delay_ns=8_000,
+        crashes=(NodeCrash(node=3, time_ns=150_000),))),
+    # Crash plus loss: retransmit chains that target the dead node must
+    # convert to NodeCrashedError as soon as an attempt lands past the
+    # crash instant, instead of burning the whole retry budget and
+    # clogging the injection channel (DeadlineError here would mean the
+    # early-exit regressed).
+    "crash+rexmit": FaultConfig(plan=FaultPlan(
+        drop_prob=0.10,
+        crashes=(NodeCrash(node=3, time_ns=150_000),))),
 }
 
 
@@ -522,7 +568,7 @@ def test_fault_matrix_smoke(workload, fault):
     for r, ret in enumerate(res.returns):
         assert ret == "ok" or isinstance(ret, FaultError), \
             f"{workload}/{fault}: rank {r} returned {ret!r}"
-    if fault == "crash":
+    if fault.startswith("crash"):
         assert res.stats["recovery"]["failures_detected"] == 1
 
     out = os.environ.get("REPRO_FAULT_STATS")
