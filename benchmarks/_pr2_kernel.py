@@ -1,0 +1,628 @@
+"""Frozen PR-2 DES kernel -- benchmark fixture, not product code.
+
+This is a verbatim snapshot of ``repro.sim.kernel`` as it stood before the
+generation-2 scheduler landed.  ``benchmarks/bench_kernel.py`` runs the same
+synthetic workloads against this module to produce the legacy-scheduler
+baseline for the kernel A/B gate (``fast_over_legacy``), and asserts that
+both kernels produce bit-identical schedules.  Do not modify except to keep
+it importable.
+
+Original module docstring follows.
+
+Design notes
+------------
+
+Design notes
+------------
+* Simulated time is an integer number of **nanoseconds**.  Fractional
+  nanosecond costs are accumulated by callers and rounded once (the machine
+  layer does this), keeping the event queue integral and deterministic.
+* Events in the queue are ordered by ``(time, priority, seq)`` where ``seq``
+  is a monotone counter -- two events at the same instant always fire in the
+  order they were scheduled, making every run bit-reproducible.
+* Processes are plain Python generators.  ``yield event`` suspends until the
+  event fires; the value sent back into the generator is ``event.value``.
+  Composite waits use :class:`AllOf` / :class:`AnyOf`.
+* Unlike SimPy we detect deadlock eagerly: if the queue drains while
+  processes are still blocked, :class:`~repro.errors.DeadlockError` is
+  raised with diagnostics.  The MPI specification forbids cyclically
+  waiting configurations (Section 2.5 of the paper); this check is how the
+  test suite asserts that the protocols never create them.
+
+Fast-path invariants
+--------------------
+The hot loop in :meth:`Environment.run` is an inlined copy of
+:meth:`Environment.step` with all per-event attribute lookups hoisted into
+locals, the tracer branch removed when no tracer is installed, and the
+watchdog comparison done on plain ints.  ``run(..., fast=False)`` keeps the
+original one-``step()``-per-event loop; both paths pop the same
+``(time, priority, seq)`` heap and allocate sequence numbers identically,
+so **event order, simulated times and all counters are bit-identical**
+between the two -- the test suite asserts this.
+
+``Timeout`` objects fired on the hot path are recycled through a free list:
+a timeout whose only callback was a process resumption (the ubiquitous
+``yield env.timeout(d)`` pattern) is returned to the pool after it fires
+and reused by the next ``env.timeout()`` call.  Recycling only swaps object
+identity, never sequence numbers or values, so it cannot perturb ordering.
+The one rule it imposes: *do not retain a reference to a timeout you have
+already yielded* (re-reading ``t.value`` later, or putting a previously
+yielded timeout inside a composite, is unsupported).  Timeouts waited on
+through ``AllOf``/``AnyOf`` or created-then-yielded-later are never pooled
+-- only the single-waiter resume pattern is.
+"""
+
+from __future__ import annotations
+
+import heapq
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import DeadlockError, LivelockError, SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "URGENT",
+    "NORMAL",
+    "LOW",
+]
+
+# Scheduling priorities (lower fires first at equal times).
+URGENT = 0  # completions/wakeups that should precede new work
+NORMAL = 1
+LOW = 2
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence; processes wait on it by ``yield``-ing it.
+
+    An event is *triggered* once via :meth:`succeed` or :meth:`fail`; its
+    callbacks then run at the scheduled simulated time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "name")
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0, priority: int = NORMAL) -> "Event":
+        """Trigger successfully, firing callbacks ``delay`` ns from now."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        env = self.env
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        env._seq += 1
+        heappush(env._queue, (env._now + int(delay), priority, env._seq, self))
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger as failed; waiting processes get ``exception`` thrown."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=delay, priority=URGENT)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` nanoseconds after creation.
+
+    Prefer :meth:`Environment.timeout`, which recycles fired instances
+    through a free list on the hot path.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None,
+                 priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=int(delay), priority=priority)
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* an event that fires on return.
+
+    The generator may ``yield``:
+
+    * an :class:`Event` -- suspend until it fires; resumed with its value,
+    * another :class:`Process` -- suspend until that process terminates.
+    """
+
+    __slots__ = ("_gen", "_target", "_interrupts", "_bound_resume")
+
+    def __init__(self, env: "Environment", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(gen).__name__} "
+                "(did you forget to call the generator function?)")
+        super().__init__(env, name=name or getattr(gen, "__name__", ""))
+        self._gen = gen
+        self._target: Event | None = None
+        self._interrupts: list[Interrupt] = []
+        # One bound method reused for every suspend/registration; avoids a
+        # method-object allocation per event and lets removal compare by
+        # identity.
+        self._bound_resume = self._resume
+        env._nprocesses += 1
+        env._live.add(self)
+        # Bootstrap: resume the generator at the current instant.
+        init = Event(env, name=f"init:{self.name}")
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._bound_resume)
+        env.schedule(init, delay=0, priority=NORMAL)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None, *,
+                  exception: BaseException | None = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        ``exception`` overrides the default wrapping: the given exception
+        instance is thrown as-is (used by the recovery layer to terminate
+        helper processes with a structured protocol error instead of an
+        :class:`Interrupt` that callers would have to re-map).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead {self!r}")
+        exc: BaseException = exception if exception is not None else Interrupt(cause)
+        wake = Event(self.env, name=f"interrupt:{self.name}")
+        wake._ok = False
+        wake._value = exc
+        wake.callbacks.append(self._bound_resume)
+        self.env.schedule(wake, delay=0, priority=URGENT)
+
+    # -- engine --------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        env = self.env
+        # Detach from the event that woke us (it may not be the one that
+        # fired if we were interrupted).
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._bound_resume)
+            except ValueError:
+                pass
+        self._target = None
+        env._active = self
+        gen = self._gen
+        send = gen.send
+        throw = gen.throw
+        event: Event = trigger
+        while True:
+            try:
+                if event._ok:
+                    out = send(event._value)
+                else:
+                    out = throw(event._value)
+            except StopIteration as stop:
+                env._active = None
+                env._nprocesses -= 1
+                env._live.discard(self)
+                env.note_progress()
+                self.succeed(stop.value, priority=URGENT)
+                return
+            except BaseException as exc:
+                env._active = None
+                env._nprocesses -= 1
+                env._live.discard(self)
+                if env.strict:
+                    self._ok = False
+                    self._value = exc
+                    env.schedule(self, delay=0, priority=URGENT)
+                    raise
+                self.fail(exc)
+                return
+            try:
+                cbs = out.callbacks
+            except AttributeError:
+                env._active = None
+                self._gen.throw(SimulationError(
+                    f"process {self.name!r} yielded non-event {out!r}"))
+                return  # pragma: no cover
+            if cbs is not None:
+                # Not yet processed: register and suspend.
+                cbs.append(self._bound_resume)
+                self._target = out
+                env._active = None
+                return
+            # Already processed: continue synchronously with its value.
+            event = out
+
+
+class ConditionEvent(Event):
+    """Base for AllOf/AnyOf composite events.
+
+    Once the composite triggers (or fails), its ``_on_fire`` callback is
+    deregistered from every still-pending child so losing children do not
+    keep dead references alive or grow their callback lists across long
+    contention runs.
+    """
+
+    __slots__ = ("_events", "_remaining", "_bound_on_fire")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("mixing events from different environments")
+        self._remaining = 0
+        on_fire = self._bound_on_fire = self._on_fire
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev, immediate=True)
+            else:
+                self._remaining += 1
+                ev.callbacks.append(on_fire)
+        if not self.triggered:
+            self._finalize_empty()
+        elif self._remaining:
+            self._detach()
+
+    def _finalize_empty(self) -> None:
+        raise NotImplementedError
+
+    def _check(self, ev: Event, immediate: bool = False) -> None:
+        raise NotImplementedError
+
+    def _detach(self) -> None:
+        """Deregister from children that have not fired yet."""
+        on_fire = self._bound_on_fire
+        for ev in self._events:
+            cbs = ev.callbacks
+            if cbs is not None:
+                try:
+                    cbs.remove(on_fire)
+                except ValueError:
+                    pass
+
+    def _on_fire(self, ev: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            self._detach()
+            return
+        self._remaining -= 1
+        self._check(ev)
+        if self._value is not _PENDING:
+            self._detach()
+
+
+class AllOf(ConditionEvent):
+    """Fires (with the list of all values) when every child has fired."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([ev.value for ev in self._events])
+
+    def _check(self, ev: Event, immediate: bool = False) -> None:
+        if not immediate and self._remaining == 0 and not self.triggered:
+            self.succeed([e.value for e in self._events])
+        elif immediate and not ev._ok:
+            self.fail(ev._value)
+
+
+class AnyOf(ConditionEvent):
+    """Fires with the (first) firing child's value."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if not self._events and not self.triggered:
+            self.succeed(None)
+
+    def _check(self, ev: Event, immediate: bool = False) -> None:
+        if not self.triggered:
+            if ev._ok:
+                self.succeed(ev._value)
+            else:
+                self.fail(ev._value)
+
+
+class Environment:
+    """The simulation clock plus the event queue.
+
+    Parameters
+    ----------
+    max_events:
+        Backstop against runaway protocols.
+    strict:
+        When True (the default), an uncaught exception inside any process
+        aborts :meth:`run` immediately -- the right behaviour for tests.
+    watchdog_interval:
+        Events between progress-watchdog checks; 0 disables the watchdog.
+    watchdog_stalls:
+        Consecutive stale checks (no :meth:`note_progress` calls anywhere)
+        before :class:`~repro.errors.LivelockError` is raised.
+
+    The watchdog is a pure observer: it reads counters, schedules nothing,
+    and therefore cannot perturb event order or simulated time.  Protocol
+    layers call :meth:`note_progress` at genuine success points (lock
+    acquired, message matched, data op completed, process finished);
+    retry/backoff loops do not, which is exactly what separates heavy
+    contention (someone keeps succeeding) from livelock (nobody does).
+    """
+
+    def __init__(self, max_events: int = 200_000_000, strict: bool = True,
+                 watchdog_interval: int = 0, watchdog_stalls: int = 3) -> None:
+        self._now = 0
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._nprocesses = 0
+        self._active: Process | None = None
+        self._live: set[Process] = set()
+        self.max_events = max_events
+        self.strict = strict
+        self.events_processed = 0
+        self.tracer = None  # installed by sim.trace.Tracer when wanted
+        # Free list of fired single-waiter Timeouts (see module docstring).
+        self._timeout_pool: list[Timeout] = []
+        # Livelock watchdog state (see class docstring).
+        self.progress_marks = 0
+        self.watchdog_interval = int(watchdog_interval)
+        self.watchdog_stalls = int(watchdog_stalls)
+        self._wd_next = self.watchdog_interval or 0
+        self._wd_marks = 0
+        self._wd_stale = 0
+        # rank-name -> last API call site, maintained by the runtime layer;
+        # feeds deadlock/livelock diagnostics.
+        self.api_sites: dict[str, str] = {}
+
+    def note_progress(self) -> None:
+        """Record one unit of protocol progress (watchdog heartbeat)."""
+        self.progress_marks += 1
+
+    def blocked_diagnostics(self) -> tuple[tuple[str, ...], dict[str, str]]:
+        """Names of still-live processes plus where each one is stuck."""
+        names = []
+        sites: dict[str, str] = {}
+        for proc in sorted(self._live, key=lambda p: p.name):
+            names.append(proc.name)
+            site = self.api_sites.get(proc.name)
+            if site is None and proc._target is not None and proc._target.name:
+                site = f"waiting on {proc._target.name}"
+            if site is not None:
+                sites[proc.name] = site
+        return tuple(names), sites
+
+    # -- time ------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- event construction ----------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None, priority: int = NORMAL) -> Timeout:
+        """Schedule (possibly recycling) a timeout ``delay`` ns from now."""
+        delay = int(delay)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev._ok = True
+            ev._value = value
+        else:
+            ev = Timeout.__new__(Timeout)
+            ev.env = self
+            ev.callbacks = []
+            ev._ok = True
+            ev._value = value
+            ev.name = ""
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, priority, self._seq, ev))
+        return ev
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, delay: int = 0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+
+    # -- main loop ---------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event (reference implementation).
+
+        :meth:`run`'s fast path inlines this body; the two must stay in
+        semantic lockstep (``tests/sim`` asserts bit-identical runs).
+        """
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self.events_processed += 1
+        if self.tracer is not None:
+            self.tracer.record(self._now, event)
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Event | int | None = None, *, fast: bool = True) -> Any:
+        """Run until ``until`` fires (event), the clock passes ``until``
+        (int), or the queue drains.
+
+        Returns the value of ``until`` when it is an event.  ``fast=False``
+        selects the legacy one-:meth:`step`-per-event loop (same results,
+        useful for A/B determinism checks and kernel benchmarking).
+        """
+        stop_event: Event | None = None
+        stop_time: int | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = int(until)
+
+        if fast and self.tracer is None:
+            return self._run_fast(stop_event, stop_time)
+        return self._run_step(stop_event, stop_time)
+
+    def _run_step(self, stop_event: Event | None, stop_time: int | None) -> Any:
+        """Legacy loop: one ``step()`` call per event, no timeout pooling."""
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value if stop_event._ok else None
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            if self.events_processed >= self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events} "
+                    f"(simulated t={self._now}ns) -- runaway protocol?")
+            self.step()
+            if self.watchdog_interval and self.events_processed >= self._wd_next:
+                self._watchdog_check()
+        return self._drained(stop_event)
+
+    def _run_fast(self, stop_event: Event | None, stop_time: int | None) -> Any:
+        """Hot loop: inlined :meth:`step` with locals bound outside the
+        loop, no tracer branch, int-only watchdog check, and Timeout
+        recycling.  Event order is identical to :meth:`_run_step`."""
+        queue = self._queue
+        pop = heappop
+        nevents = self.events_processed
+        max_events = self.max_events
+        wd_interval = self.watchdog_interval
+        wd_next = self._wd_next if wd_interval else 0
+        tpool = self._timeout_pool
+        timeout_cls = Timeout
+        resume_fn = Process._resume
+        try:
+            while queue:
+                if stop_event is not None and stop_event.callbacks is None:
+                    return stop_event._value if stop_event._ok else None
+                if stop_time is not None and queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                if nevents >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} "
+                        f"(simulated t={self._now}ns) -- runaway protocol?")
+                when, _prio, _seq, event = pop(queue)
+                self._now = when
+                cbs = event.callbacks
+                event.callbacks = None
+                nevents += 1
+                for cb in cbs:
+                    cb(event)
+                # Recycle the ubiquitous `yield env.timeout(d)` case: a
+                # plain Timeout whose sole consumer was one process resume.
+                if event.__class__ is timeout_cls and len(cbs) == 1 \
+                        and getattr(cbs[0], "__func__", None) is resume_fn:
+                    cbs.clear()
+                    event.callbacks = cbs
+                    tpool.append(event)
+                if wd_interval and nevents >= wd_next:
+                    self.events_processed = nevents
+                    self._watchdog_check()
+                    wd_next = self._wd_next
+        finally:
+            self.events_processed = nevents
+        return self._drained(stop_event)
+
+    def _drained(self, stop_event: Event | None) -> Any:
+        """Queue is empty: report the stop event or diagnose deadlock."""
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value if stop_event._ok else None
+            names, sites = self.blocked_diagnostics()
+            raise DeadlockError(self._nprocesses, self._now, names, sites)
+        if self._nprocesses > 0:
+            names, sites = self.blocked_diagnostics()
+            raise DeadlockError(self._nprocesses, self._now, names, sites)
+        return None
+
+    def _watchdog_check(self) -> None:
+        # A sampling window must give every live process a chance to make
+        # a mark: at 512+ ranks a few legitimate events per rank already
+        # exceed a fixed 800-event window, so scale with the population
+        # (false livelocks at scale; a real livelock still trips after
+        # `watchdog_stalls` scaled windows with zero marks).
+        self._wd_next = self.events_processed + max(
+            self.watchdog_interval, 8 * self._nprocesses)
+        if self.progress_marks != self._wd_marks or self._nprocesses == 0:
+            self._wd_marks = self.progress_marks
+            self._wd_stale = 0
+            return
+        self._wd_stale += 1
+        if self._wd_stale >= self.watchdog_stalls:
+            names, sites = self.blocked_diagnostics()
+            raise LivelockError(
+                self._now, self.events_processed,
+                self._wd_stale * self.watchdog_interval, names, sites)

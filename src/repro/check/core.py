@@ -192,6 +192,8 @@ class RaceChecker:
         # around the Segment access so the watch hook can attribute it).
         self._local: tuple | None = None
         self.transport_counts: dict[str, int] = {}
+        # Two-sided happens-before edges observed (msg_send match points).
+        self.msg_edges = 0
 
     # ------------------------------------------------------------------
     # vector-clock primitives
@@ -244,6 +246,24 @@ class RaceChecker:
             # records everyone already knows about can never race again.
             self._prune(slot.acc)
             del self._coll[seq]
+
+    def msg_send(self, rank: int) -> VectorClock:
+        """An MPI-1 send is issued by ``rank``: deposit its clock.
+
+        The returned clock rides on the :class:`~repro.mpi1.matching.Message`
+        to the receiver's match point.  Mirrors how collectives deposit at
+        ``coll_enter`` -- a two-sided message is a true happens-before edge
+        from the sender's program point to the receiving program point, so
+        mixed two-sided/one-sided programs that order their RMA accesses
+        with send/recv pairs must not report false races."""
+        self.msg_edges += 1
+        return self._deposit(rank)
+
+    def msg_recv(self, rank: int, vc: VectorClock | None) -> None:
+        """An MPI-1 receive matches on ``rank``: acquire the sender's
+        deposited clock (``None`` for messages sent before the checker
+        attached -- merge-nothing, tick-only, never a false edge)."""
+        self._acquire(rank, vc)
 
     def on_fence(self, win) -> None:
         """Fence completes all of this origin's operations (the ordering

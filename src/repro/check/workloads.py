@@ -134,6 +134,46 @@ def clean_local(ctx):
     return ctx.now
 
 
+def clean_msg_sync(ctx):
+    """Mixed two-sided/one-sided: rank 1 puts into rank 0's window, then
+    tells rank 0 with a plain MPI-1 message; rank 0 reads its window only
+    after the recv.  The send/recv match point is a true happens-before
+    edge (put -> send -> recv -> load), so this must be spotless --
+    before the msg hooks it was the canonical false local-remote race."""
+    win = yield from ctx.rma.win_allocate(8)
+    yield from ctx.coll.barrier()
+    if ctx.rank == 1:
+        yield from win.lock(0, LockType.EXCLUSIVE)
+        yield from win.put(np.full(8, 7, np.uint8), 0, 0)
+        yield from win.unlock(0)
+        yield from ctx.mpi.send(0, b"done", tag=7)
+    elif ctx.rank == 0:
+        yield from ctx.mpi.recv(src=1, tag=7)
+        win.local_load(8)
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
+def racy_msg_nosync(ctx):
+    """Control twin: the message leaves BEFORE the put, so the recv
+    orders nothing -- the local-remote race must still be reported
+    (msg edges must not blanket-suppress findings)."""
+    win = yield from ctx.rma.win_allocate(8)
+    yield from ctx.coll.barrier()
+    if ctx.rank == 1:
+        yield from ctx.mpi.send(0, b"go", tag=7)
+        yield from win.lock(0, LockType.EXCLUSIVE)
+        yield from win.put(np.full(8, 7, np.uint8), 0, 0)
+        yield from win.unlock(0)
+    elif ctx.rank == 0:
+        yield from ctx.mpi.recv(src=1, tag=7)
+        win.local_load(8)
+    yield from ctx.coll.barrier()
+    yield from win.free()
+    return ctx.now
+
+
 def racy_same_origin(ctx):
     """One origin overwrites its own un-completed put (no flush between
     two puts to the same target bytes): unordered same-origin conflict."""
@@ -214,7 +254,9 @@ CHECK_WORKLOADS: dict[str, Callable[..., Any]] = {
     "racy_local": racy_local,
     "racy_same_origin": racy_same_origin,
     "racy_latent": racy_latent,
+    "racy_msg_nosync": racy_msg_nosync,
     "clean_put_put": clean_put_put,
+    "clean_msg_sync": clean_msg_sync,
     "clean_acc_sum": clean_acc_sum,
     "clean_local": clean_local,
     "clean_same_origin": clean_same_origin,
@@ -231,4 +273,5 @@ RACY_EXPECT: dict[str, str] = {
     "racy_atomic_nonatomic": "atomic-nonatomic",
     "racy_local": "local-remote",
     "racy_same_origin": "same-origin",
+    "racy_msg_nosync": "local-remote",
 }

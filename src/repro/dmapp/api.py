@@ -34,6 +34,25 @@ _HEADER_BYTES = 24  # request header: opcode + rkey + vaddr (get/amo requests)
 _AMO_BYTES = 16     # AMO request payload: operand + address
 
 
+def _as_payload(data) -> memoryview:
+    """Issue-time capture of a put payload as a flat byte view.
+
+    ``bytes`` input is immutable, so the view aliases it with *no* copy;
+    mutable buffers are snapshotted once (the DMA capture the docstrings
+    promise); numpy arrays flatten through ``tobytes`` -- the same C-order
+    byte reinterpretation the old ``ascontiguousarray(...).view(uint8)``
+    produced, but as a single copy with no per-chunk numpy machinery.
+    Chunk pieces are then zero-copy ``memoryview`` slices of this capture,
+    and land at the target through :meth:`Segment.write`'s slice-copy fast
+    path.
+    """
+    if type(data) is bytes:
+        return memoryview(data)
+    if isinstance(data, (bytearray, memoryview)):
+        return memoryview(bytes(data))
+    return memoryview(np.asarray(data).tobytes())
+
+
 @dataclass
 class DmappHandle:
     """Explicit-nonblocking operation handle."""
@@ -116,16 +135,15 @@ class DmappEndpoint:
         bounds the message rate at 1/o_inject) and captures ``data`` at
         issue time, as the hardware DMA would.
         """
-        src = np.ascontiguousarray(np.asarray(data)).view(np.uint8).ravel()
+        payload = _as_payload(data)
         seg = self._resolve(desc)
-        seg._check(offset, src.size)  # fail at issue, like a bad rkey would
+        seg._check(offset, payload.nbytes)  # fail at issue, like a bad rkey
         net = self.network
         tnode = self._target_node(desc.rank)
         handle = DmappHandle("put", 0, 0)
-        total = src.size
+        total = payload.nbytes
         chunk = net.params.max_chunk
         pos = 0
-        snapshot = src.copy()
         last_delivery = self.env.now
         cpu_free = self.env.now
         while True:
@@ -136,7 +154,7 @@ class DmappEndpoint:
             admit = net.injection_admit(self.node, inj_end, max(1, n))
             cpu_free = max(self.env.now + int(round(net.params.o_inject)),
                            admit)
-            piece = snapshot[pos:pos + n]
+            piece = payload[pos:pos + n]
             off = offset + pos
 
             def _write(_t, seg=seg, off=off, piece=piece):
@@ -213,6 +231,13 @@ class DmappEndpoint:
         ev = self.env.event(name="get-data")
 
         def _read_at_target(event):
+            if out is not None and out.flags["C_CONTIGUOUS"]:
+                # Zero-copy landing: one slice copy from target memory
+                # straight into the caller's buffer (watch hook included).
+                flat = out.view(np.uint8).ravel()
+                seg.read_into(offset, memoryview(flat.data))
+                handle.result = flat
+                return
             data = seg.read(offset, nbytes)
             handle.result = data
             if out is not None:
@@ -545,22 +570,21 @@ class ResilientDmappEndpoint(DmappEndpoint):
 
     def _put_nbi_inner(self, desc: MemDescriptor, offset: int, data,
                        on_applied=None):
-        src = np.ascontiguousarray(np.asarray(data)).view(np.uint8).ravel()
+        payload = _as_payload(data)
         seg = self._resolve(desc)
-        seg._check(offset, src.size)
+        seg._check(offset, payload.nbytes)
         net = self.network
         tnode = self._target_node(desc.rank)
         self._quarantine_check(tnode, "put", desc.rank)
         handle = DmappHandle("put", 0, 0)
-        total = src.size
+        total = payload.nbytes
         chunk = net.params.max_chunk
         pos = 0
-        snapshot = src.copy()
         last_complete = self.env.now
         cpu_free = self.env.now
         while True:
             n = min(chunk, total - pos) if total else 0
-            piece = snapshot[pos:pos + n]
+            piece = payload[pos:pos + n]
             off = offset + pos
 
             def _write(_t, seg=seg, off=off, piece=piece):
@@ -677,6 +701,13 @@ class ResilientDmappEndpoint(DmappEndpoint):
         ev = self.env.event(name="get-data")
 
         def _read_at_target(event):
+            if out is not None and out.flags["C_CONTIGUOUS"]:
+                # Zero-copy landing: one slice copy from target memory
+                # straight into the caller's buffer (watch hook included).
+                flat = out.view(np.uint8).ravel()
+                seg.read_into(offset, memoryview(flat.data))
+                handle.result = flat
+                return
             data = seg.read(offset, nbytes)
             handle.result = data
             if out is not None:

@@ -23,7 +23,7 @@ class Segment:
     """A contiguous byte range of one rank's memory."""
 
     __slots__ = ("rank", "seg_id", "vaddr", "buf", "alive", "label",
-                 "watch")
+                 "watch", "_mv")
 
     def __init__(self, rank: int, seg_id: int, vaddr: int, size: int,
                  label: str = "") -> None:
@@ -33,6 +33,9 @@ class Segment:
         self.seg_id = seg_id
         self.vaddr = vaddr
         self.buf = np.zeros(size, dtype=np.uint8)
+        # Cached flat byte view: the zero-copy read/write fast paths are
+        # plain memoryview slice copies, no numpy dispatch per access.
+        self._mv = memoryview(self.buf.data)
         self.alive = True
         self.label = label
         # Optional access funnel installed by the memory-model checker
@@ -59,6 +62,24 @@ class Segment:
             self.watch("load", offset, nbytes)
         return self.buf[offset:offset + nbytes].copy()
 
+    def read_into(self, offset: int, dst: memoryview) -> None:
+        """Copy ``len(dst)`` bytes at ``offset`` straight into ``dst``.
+
+        The zero-copy twin of :meth:`read`: one C-level slice copy, no
+        intermediate array.  ``dst`` must be a contiguous uint8 view."""
+        n = len(dst)
+        self._check(offset, n)
+        if self.watch is not None:
+            self.watch("load", offset, n)
+        dst[:] = self._mv[offset:offset + n]
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        """An immutable copy of ``nbytes`` bytes at ``offset``."""
+        self._check(offset, nbytes)
+        if self.watch is not None:
+            self.watch("load", offset, nbytes)
+        return bytes(self._mv[offset:offset + nbytes])
+
     def view(self, offset: int, nbytes: int) -> np.ndarray:
         """A writable view (used by the XPMEM direct-mapping path)."""
         self._check(offset, nbytes)
@@ -66,9 +87,19 @@ class Segment:
 
     def write(self, offset: int, data) -> None:
         if isinstance(data, (bytes, bytearray, memoryview)):
-            arr = np.frombuffer(data, dtype=np.uint8)
-        else:
-            arr = np.asarray(data, dtype=np.uint8).ravel()
+            # Zero-copy fast path: byte payloads (put pieces arrive as
+            # memoryview slices of the captured payload) land with one
+            # C-level slice copy.
+            if type(data) is memoryview and (data.format != "B"
+                                             or not data.contiguous):
+                data = memoryview(bytes(data))
+            n = len(data)
+            self._check(offset, n)
+            if self.watch is not None:
+                self.watch("store", offset, n)
+            self._mv[offset:offset + n] = data
+            return
+        arr = np.asarray(data, dtype=np.uint8).ravel()
         self._check(offset, arr.size)
         if self.watch is not None:
             self.watch("store", offset, arr.size)

@@ -32,6 +32,7 @@ class Message:
     kind: str              # 'eager' | 'rts'
     seq: int = 0
     sender_state: Any = None  # rendezvous bookkeeping back-pointer
+    clock: Any = None      # sender's deposited vector clock (checker runs)
 
 
 @dataclass

@@ -103,6 +103,14 @@ class Mpi1Endpoint:
     # failing them.  Crashes must not overlap two-sided phases (documented
     # V1 limitation; the FT workloads only use collectives during setup).
     ft = None
+    # Memory-model checker (repro.check), assigned by RankContext when
+    # checking is enabled.  Send/recv match points are happens-before
+    # edges: the sender deposits its vector clock on the Message at
+    # isend, the receiver acquires it when the match completes -- so
+    # mixed two-sided/one-sided programs that order RMA accesses with
+    # messages do not report false races (same None-when-disabled
+    # zero-cost contract as every other protocol hook).
+    checker = None
 
     def __init__(
         self,
@@ -208,6 +216,8 @@ class Mpi1Endpoint:
         data = _freeze(payload)
         msg = Message(self.rank, channel, tag, data, n, "eager",
                       seq=next(self._seq))
+        if self.checker is not None:
+            msg.clock = self.checker.msg_send(self.rank)
         peer = self._peer(dest)
 
         if sync or n > self.params.eager_threshold:
@@ -333,6 +343,8 @@ class Mpi1Endpoint:
     def _complete_recv(self, req: Request, msg: Message) -> None:
         # A successful match is forward progress for the livelock watchdog.
         self.env.note_progress()
+        if self.checker is not None:
+            self.checker.msg_recv(self.rank, msg.clock)
         p = self.params
         cost = p.o_recv_match
         if msg.kind == "eager":

@@ -57,6 +57,7 @@ class RankContext:
         self.mpi = Mpi1Endpoint(world.env, rank, world.network,
                                 world.rank_map, world.mpi1, world.xpmem,
                                 world.mpi_registry)
+        self.mpi.checker = world.checker
         # Recovery services (both None on fault-free runs: the single
         # ``is None`` gate every protocol-layer recovery hook tests).
         self.notifier = world.notifier

@@ -119,7 +119,8 @@ class World:
         self.counters = OpCounters()
         self.network = Network(self.env, self.torus, self.rank_map,
                                self.gemini, self.counters,
-                               injector=self.injector)
+                               injector=self.injector,
+                               batch_delivery=self.machine.batch_delivery)
         self.network.obs = self.obs
         self.spaces = {r: AddressSpace(r) for r in range(nranks)}
         self.reg_tables = {r: RegistrationTable(r) for r in range(nranks)}

@@ -70,6 +70,18 @@ def test_local_remote_pair_attributes_target_side_access():
         assert local.rank == 0 == local.target
 
 
+def test_msg_sync_orders_mixed_two_sided_one_sided():
+    """Satellite: MPI-1 send/recv match points feed the vector-clock
+    engine, so a put ordered by a message edge is not a race -- and the
+    control twin (message sent before the put) still is."""
+    _, ck = check_workload("clean_msg_sync", nranks=4, seed=11)
+    assert ck.clean, [v.describe() for v in ck.violations]
+    assert ck.msg_edges >= 1
+
+    _, ck = check_workload("racy_msg_nosync", nranks=4, seed=11)
+    assert {v.kind for v in ck.violations} == {"local-remote"}
+
+
 def test_same_origin_pair_shares_oseq():
     """The two unflushed puts carry the same operation-sequence number;
     the clean twin's flush separates them."""
