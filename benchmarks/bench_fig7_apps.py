@@ -47,6 +47,43 @@ def test_fig7a_hashtable(benchmark, record_series):
     assert abs(fompi.ys[-1] - upc.ys[-1]) / fompi.ys[-1] < 0.5
 
 
+def test_fig7a_hashtable_hybrid(benchmark, record_series):
+    """Figure 7a extended to paper scale (512Ki/1Mi) on the hybrid engine.
+
+    Every point's sync term comes from a hybrid run that carries the
+    engine's tier-parity and O(log p) bound checks; the curves are
+    pinned to the committed full-fidelity values at the overlap size,
+    so continuity at p=512 is asserted, not assumed.
+    """
+    from repro.scale.figures import (FIG7A_ANCHOR_P, FIG7A_ANCHORS,
+                                     HT_PS_HYBRID, fig7a_hybrid_series)
+
+    def run():
+        return fig7a_hybrid_series(HT_PS_HYBRID)
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 7a (hybrid): hashtable inserts [M/s] to 1Mi processes "
+        "(32 ranks/node)", "p", series)
+    record_series("fig7a_hybrid", table, series)
+    benchmark.extra_info["series"] = [s.as_dict() for s in series]
+    by = {s.label: s for s in series}
+    fompi, upc, mpi1 = by["fompi"], by["upc"], by["mpi1"]
+    # Continuity: the hybrid curve passes through the full-fidelity
+    # anchor at the overlap size.
+    assert fompi.xs[0] == FIG7A_ANCHOR_P
+    for label in ("fompi", "upc", "mpi1"):
+        anchor = FIG7A_ANCHORS[label]
+        assert abs(by[label].ys[0] - anchor) / anchor < 0.01, by[label].ys
+    # shape: foMPI/UPC near-linear aggregate scaling over the 2048x
+    # extension (sub-linear only by the O(log p) sync growth)...
+    assert fompi.ys[-1] / fompi.ys[0] > 1024
+    assert abs(fompi.ys[-1] - upc.ys[-1]) / fompi.ys[-1] < 0.5
+    # ... while MPI-1 stays flat-to-declining, orders of magnitude under.
+    assert mpi1.ys[-1] <= mpi1.ys[0]
+    assert fompi.ys[-1] > 2 * mpi1.ys[-1]
+
+
 def test_fig7b_dsde(benchmark, record_series):
     protocols = ["alltoall", "reduce_scatter", "nbx", "rma", "rma_cray22"]
 

@@ -29,6 +29,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPORT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simperf.json"
 
 _FIGURE_TIMES: dict[str, float] = {}
+_SCALE_SECTION: dict = {}
 
 
 def pytest_addoption(parser):
@@ -61,9 +62,29 @@ def record_series(request):
     return _write
 
 
+@pytest.fixture
+def record_scale():
+    """Collect the hybrid scale-mode throughput section.
+
+    ``bench_scale.py`` reports ranks-per-second and sampling fractions
+    here; session finish merges them into ``BENCH_simperf.json`` under
+    the ``"scale"`` key (sub-dicts merged key-wise, like figure walls,
+    so a partial sweep never erases earlier sizes).
+    """
+
+    def _write(section: dict) -> None:
+        for key, value in section.items():
+            if isinstance(value, dict):
+                _SCALE_SECTION.setdefault(key, {}).update(value)
+            else:
+                _SCALE_SECTION[key] = value
+
+    return _write
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Merge per-figure wall times + pool/cache totals into the report."""
-    if not _FIGURE_TIMES:
+    if not _FIGURE_TIMES and not _SCALE_SECTION:
         return
     try:
         from repro.bench.cache import cache_enabled, default_cache_dir
@@ -96,8 +117,18 @@ def pytest_sessionfinish(session, exitstatus):
         walls = {**prior, **_FIGURE_TIMES}
     else:  # pragma: no cover - malformed report
         walls = dict(_FIGURE_TIMES)
-    report["figures"] = {"wall_s": dict(sorted(walls.items())),
-                         "total_wall_s": round(sum(walls.values()), 3)}
+    if walls:
+        report["figures"] = {"wall_s": dict(sorted(walls.items())),
+                             "total_wall_s": round(sum(walls.values()), 3)}
+    if _SCALE_SECTION:
+        prior_scale = report.get("scale", {})
+        merged = dict(prior_scale) if isinstance(prior_scale, dict) else {}
+        for key, value in _SCALE_SECTION.items():
+            if isinstance(value, dict) and isinstance(merged.get(key), dict):
+                merged[key] = {**merged[key], **value}
+            else:
+                merged[key] = value
+        report["scale"] = merged
     report["pool"] = {"workers": default_workers(),
                       "points": totals.points,
                       "executed": totals.executed,

@@ -18,6 +18,12 @@ Commands
                     semantics violation; ``--perturb N`` sweeps N seeded
                     schedule perturbations to manifest latent races
                     (exit code 1 when violations are found)
+``scale <action>``  hybrid million-rank scale mode: ``parity`` diffs
+                    hybrid vs full-fidelity message counts exactly at
+                    overlapping sizes (exit 1 on any mismatch),
+                    ``smoke`` runs every workload hybrid at paper scale
+                    (``--ranks 512Ki``) under a wall-clock budget,
+                    ``run`` runs one workload and prints its stats
 ``ft <wl>``         crash-to-completion experiment: run the FT workload
                     (``hashtable``) fault-free, crash ``--crash-rank`` at
                     ``--crash-frac`` of the reference run, recover, and
@@ -149,6 +155,12 @@ def main(argv=None) -> int:
     f.add_argument("id")
     f.add_argument("--full", action="store_true",
                    help="larger sweeps (slower)")
+    f.add_argument("--hybrid", action="store_true",
+                   help="extend the figure to paper scale with the "
+                        "hybrid engine (figures 7a and 8)")
+    f.add_argument("--ranks", default=None,
+                   help="comma-separated rank counts for --hybrid "
+                        "(binary units OK: 512,4Ki,512Ki,1Mi)")
     f.add_argument("--trace", metavar="PATH", default=None,
                    help="re-run the figure under observability and write "
                         "a Chrome trace of its slowest simulated point")
@@ -179,6 +191,27 @@ def main(argv=None) -> int:
     c.add_argument("--jitter", action="store_true",
                    help="perturb this single run (used by the printed "
                         "reproducer commands)")
+    sc = sub.add_parser("scale")
+    sc.add_argument("action", choices=("parity", "smoke", "run"),
+                    help="parity: hybrid vs full-fidelity exact message "
+                         "counts; smoke: paper-scale hybrid run under a "
+                         "wall budget; run: one hybrid run, print stats")
+    sc.add_argument("--ranks", default=None,
+                    help="rank count(s); comma-separated for parity "
+                         "(binary units OK: 256,1Ki,4Ki or 512Ki)")
+    sc.add_argument("--rpn", type=int, default=32,
+                    help="ranks per node (default 32, as in the paper)")
+    sc.add_argument("--workloads", default=None,
+                    help="comma-separated subset of "
+                         "fence,pscw,lock,flush (default: all)")
+    sc.add_argument("--workload", default="fence",
+                    help="workload for 'run' (default fence)")
+    sc.add_argument("--budget-s", type=float, default=None,
+                    help="hard wall-clock budget for 'smoke' (exit 1 if "
+                         "exceeded)")
+    sc.add_argument("--out", metavar="PATH", default=None,
+                    help="write the JSON report (parity table / smoke "
+                         "rows)")
     ft = sub.add_parser("ft")
     ft.add_argument("workload", nargs="?", default="hashtable",
                     help="'hashtable' (single crash-to-completion "
@@ -226,6 +259,26 @@ def main(argv=None) -> int:
         for rank, (received, ticket) in enumerate(res.returns):
             print(f"rank {rank}: received {received}, atomic ticket {ticket}")
     elif args.cmd == "figure":
+        if args.hybrid:
+            from repro.scale.figures import (fig7a_hybrid_series,
+                                             fig8_hybrid_series)
+            from repro.scale.units import parse_ranks_list
+
+            ranks = parse_ranks_list(args.ranks) if args.ranks else None
+            if args.id == "7a":
+                title = ("Figure 7a (hybrid, paper scale): hashtable "
+                         "[M inserts/s]")
+                series = fig7a_hybrid_series(ranks)
+            elif args.id == "8":
+                title = "Figure 8 (hybrid, paper scale): MILC [ms]"
+                series = fig8_hybrid_series(ranks)
+            else:
+                raise SystemExit(
+                    f"--hybrid supports figures 7a and 8, not {args.id!r}")
+            print(format_series_table(title, "p", series))
+            print()
+            print(ascii_chart(title, series))
+            return 0
         title, series = _figure(args.id, fast=not args.full)
         print(format_series_table(title, "x", series))
         print()
@@ -283,8 +336,96 @@ def main(argv=None) -> int:
             events_processed=res.events_processed))
     elif args.cmd == "check":
         return _check_cmd(args)
+    elif args.cmd == "scale":
+        return _scale_cmd(args)
     elif args.cmd == "ft":
         return _ft_cmd(args)
+    return 0
+
+
+def _scale_cmd(args) -> int:
+    """``repro scale``: parity gate, paper-scale smoke, or a single
+    hybrid run.  Exit code 1 iff the gate / budget fails."""
+    import json
+    import time
+
+    from repro.scale import WORKLOADS, format_ranks, run_hybrid
+    from repro.scale.parity import parity_table
+    from repro.scale.units import parse_ranks, parse_ranks_list
+
+    workloads = (args.workloads.split(",") if args.workloads
+                 else sorted(WORKLOADS))
+    for w in workloads:
+        if w not in WORKLOADS:
+            raise SystemExit(f"unknown scale workload {w!r} "
+                             f"(have {sorted(WORKLOADS)})")
+
+    if args.action == "parity":
+        ranks = parse_ranks_list(args.ranks or "64,256,1Ki")
+        table = parity_table(ranks, ranks_per_node=args.rpn,
+                             workloads=workloads)
+        for case in table["cases"]:
+            verdict = "exact" if case["exact"] else "MISMATCH"
+            print(f"{case['workload']:6s} p={case['ranks']:>6s} "
+                  f"rpn={args.rpn:<3d} msgs={case['messages']:>12,d} "
+                  f"sampled={case['sampled']:<4d} {verdict}")
+            if not case["exact"]:
+                print(f"  diff: {json.dumps(case['diff'])}")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(table, fh, indent=1)
+            print(f"wrote {args.out}")
+        print("parity " + ("OK: hybrid reproduces full-fidelity message "
+                           "counts exactly" if table["ok"] else "FAILED"))
+        return 0 if table["ok"] else 1
+
+    if args.action == "smoke":
+        nranks = parse_ranks(args.ranks or "512Ki")
+        rows = []
+        t0 = time.perf_counter()
+        for w in workloads:
+            tw = time.perf_counter()
+            res = run_hybrid(w, nranks, ranks_per_node=args.rpn)
+            wall = time.perf_counter() - tw
+            rows.append({
+                "workload": w, "nranks": nranks,
+                "ranks": format_ranks(nranks),
+                "wall_s": round(wall, 3),
+                "ranks_per_sec": round(nranks / wall),
+                "messages": res.stats["messages"],
+                "sampled": len(res.sample),
+                "soa_nbytes": res.soa_nbytes,
+                "sim_time_ns": res.sim_time_ns,
+                "bounds": res.bounds,
+            })
+            print(f"{w:6s} p={format_ranks(nranks):>6s} "
+                  f"msgs={res.stats['messages']:>14,d} "
+                  f"wall={wall:6.2f}s "
+                  f"({nranks / wall:,.0f} ranks/s)")
+        total = time.perf_counter() - t0
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump({"nranks": nranks, "ranks_per_node": args.rpn,
+                           "total_wall_s": round(total, 3),
+                           "rows": rows}, fh, indent=1)
+            print(f"wrote {args.out}")
+        print(f"total wall {total:.2f}s"
+              + (f" (budget {args.budget_s:.0f}s)" if args.budget_s else ""))
+        if args.budget_s is not None and total > args.budget_s:
+            print(f"smoke FAILED: {total:.2f}s exceeds the "
+                  f"{args.budget_s:.0f}s budget")
+            return 1
+        return 0
+
+    # action == "run"
+    nranks = parse_ranks(args.ranks or "4Ki")
+    res = run_hybrid(args.workload, nranks, ranks_per_node=args.rpn)
+    print(f"{args.workload} p={format_ranks(nranks)} rpn={args.rpn}: "
+          f"simulated {res.sim_time_ns / 1e3:.1f} us, "
+          f"{res.events_processed} events, "
+          f"{len(res.sample)} sampled ranks, "
+          f"SoA {res.soa_nbytes / 1e6:.1f} MB")
+    print(json.dumps(res.stats, indent=1))
     return 0
 
 

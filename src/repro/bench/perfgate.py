@@ -52,13 +52,23 @@ def calibration_rate(iters: int = _CALIBRATION_ITERS,
 def _kernel_rates(report: dict) -> dict[str, float]:
     """Flatten a report's kernel section to {metric: events/sec}."""
     rates: dict[str, float] = {}
-    kernel = report.get("kernel", {})
-    for w in kernel.get("workloads", []):
-        rates[f"kernel.{w['workload']}"] = float(w["fast_events_per_sec"])
-    full = kernel.get("full_stack")
-    if full:
+    kernel = report.get("kernel") or {}
+    for w in kernel.get("workloads") or []:
+        name, rate = w.get("workload"), w.get("fast_events_per_sec")
+        if name is not None and rate is not None:
+            rates[f"kernel.{name}"] = float(rate)
+    full = kernel.get("full_stack") or {}
+    if full.get("events_per_sec") is not None:
         rates["kernel.full_stack"] = float(full["events_per_sec"])
     return rates
+
+
+def _scale_rates(report: dict) -> dict[str, float]:
+    """Flatten a report's scale section to {metric: ranks/sec}."""
+    section = report.get("scale") or {}
+    rps = section.get("ranks_per_sec") or {}
+    return {f"scale.{label}": float(rate) for label, rate in rps.items()
+            if rate is not None}
 
 
 def compare_reports(baseline: dict, current: dict, *,
@@ -85,23 +95,39 @@ def compare_reports(baseline: dict, current: dict, *,
              f"(calibration {current_calibration or 'n/a'} vs "
              f"baseline {base_cal or 'n/a'})"]
 
-    base_rates = _kernel_rates(baseline)
-    cur_rates = _kernel_rates(current)
-    for name in sorted(base_rates):
-        cur = cur_rates.get(name)
-        if cur is None:
-            failures.append(f"{name}: missing from current report")
-            lines.append(f"FAIL {name}: missing from current report")
+    # Rate sections: kernel events/sec and hybrid-scale ranks/sec share
+    # the higher-is-better machine-scaled floor logic.  A section absent
+    # from the *baseline* warns and passes (older baselines predate the
+    # section); a metric absent from the *current* report fails only for
+    # the kernel section, which every perf run produces -- scale sweeps
+    # are optional in a kernel-only session.
+    for section, extract, unit, required in (
+            ("kernel", _kernel_rates, "ev/s", True),
+            ("scale", _scale_rates, "ranks/s", False)):
+        if section not in baseline:
+            lines.append(f"skip {section}: not in baseline")
             continue
-        floor = base_rates[name] * scale * (1.0 - max_drop)
-        ok = cur >= floor
-        verdict = "ok  " if ok else "FAIL"
-        lines.append(f"{verdict} {name}: {cur:,.0f} ev/s "
-                     f"(floor {floor:,.0f}, baseline {base_rates[name]:,.0f})")
-        if not ok:
-            failures.append(
-                f"{name}: {cur:,.0f} ev/s below floor {floor:,.0f} "
-                f"(>{max_drop:.0%} drop vs scaled baseline)")
+        base_rates = extract(baseline)
+        cur_rates = extract(current)
+        for name in sorted(base_rates):
+            cur = cur_rates.get(name)
+            if cur is None:
+                if required:
+                    failures.append(f"{name}: missing from current report")
+                    lines.append(f"FAIL {name}: missing from current report")
+                else:
+                    lines.append(f"skip {name}: not in current report")
+                continue
+            floor = base_rates[name] * scale * (1.0 - max_drop)
+            ok = cur >= floor
+            verdict = "ok  " if ok else "FAIL"
+            lines.append(
+                f"{verdict} {name}: {cur:,.0f} {unit} "
+                f"(floor {floor:,.0f}, baseline {base_rates[name]:,.0f})")
+            if not ok:
+                failures.append(
+                    f"{name}: {cur:,.0f} {unit} below floor {floor:,.0f} "
+                    f"(>{max_drop:.0%} drop vs scaled baseline)")
 
     base_walls = baseline.get("figures", {}).get("wall_s", {})
     cur_walls = current.get("figures", {}).get("wall_s", {})

@@ -14,7 +14,57 @@ from repro.sim.kernel import Environment
 from repro.sim.random import stream
 from repro.sim.trace import OpCounters, Tracer
 
-__all__ = ["World"]
+__all__ = ["RankTable", "World"]
+
+
+class RankTable:
+    """Lazily materialized ``rank -> per-rank object`` table.
+
+    ``World`` used to build every rank's :class:`AddressSpace` and
+    :class:`RegistrationTable` eagerly at construction -- O(p) Python
+    objects before the first event runs, which is exactly the per-rank
+    state the hybrid scale mode (:mod:`repro.scale`) exists to avoid.
+    This table is dict-compatible for every existing access pattern
+    (``table[rank]``, ``rank in table``, iteration, ``len``) but only
+    constructs an entry on first use, so a world's footprint scales
+    with the ranks that actually touch memory, not with ``nranks``.
+    """
+
+    def __init__(self, nranks: int, factory) -> None:
+        self.nranks = nranks
+        self._factory = factory
+        self._entries: dict = {}
+
+    def __getitem__(self, rank: int):
+        entry = self._entries.get(rank)
+        if entry is None:
+            if not 0 <= rank < self.nranks:
+                raise KeyError(rank)
+            entry = self._entries[rank] = self._factory(rank)
+        return entry
+
+    def __contains__(self, rank: int) -> bool:
+        return 0 <= rank < self.nranks
+
+    def __len__(self) -> int:
+        return self.nranks
+
+    def __iter__(self):
+        return iter(range(self.nranks))
+
+    def keys(self):
+        return range(self.nranks)
+
+    def values(self):
+        return (self[r] for r in range(self.nranks))
+
+    def items(self):
+        return ((r, self[r]) for r in range(self.nranks))
+
+    @property
+    def materialized(self) -> int:
+        """Entries actually constructed (asserted by the laziness tests)."""
+        return len(self._entries)
 
 
 class World:
@@ -122,8 +172,8 @@ class World:
                                injector=self.injector,
                                batch_delivery=self.machine.batch_delivery)
         self.network.obs = self.obs
-        self.spaces = {r: AddressSpace(r) for r in range(nranks)}
-        self.reg_tables = {r: RegistrationTable(r) for r in range(nranks)}
+        self.spaces = RankTable(nranks, AddressSpace)
+        self.reg_tables = RankTable(nranks, RegistrationTable)
         self.mpi_registry: dict = {}
         # Cross-rank rendezvous spots used by collective protocols
         # (window-creation exchanges etc.); keyed by (kind, instance).

@@ -1,0 +1,115 @@
+"""Scale parity: hybrid vs full-fidelity at overlapping sizes.
+
+The hybrid mode's correctness claim is structural: at sizes the full
+DES can execute, a hybrid run must reproduce the full run's
+per-protocol message counts **exactly** -- the whole
+``OpCounters.snapshot()`` dict (messages, bytes, per-kind counts,
+per-rank maxima), compared as plain equality -- and satisfy the
+O(log p) structural bounds at every size.  This module produces that
+comparison as data: ``parity_case`` for one (workload, p, rpn) cell,
+``parity_table`` for the sweep the CI ``scale-parity`` job runs and
+uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import MachineConfig, ScaleConfig, SimConfig
+from repro.runtime.job import run_spmd
+from repro.scale.hybrid import HybridResult, run_hybrid
+from repro.scale.units import format_ranks
+from repro.scale.workloads import WORKLOADS, full_program
+
+__all__ = ["run_full", "parity_case", "parity_table"]
+
+
+def run_full(workload: str, nranks: int, *, ranks_per_node: int = 1,
+             sim: SimConfig | None = None):
+    """Full-fidelity reference run of one canonical workload."""
+    spec = WORKLOADS[workload]
+    return run_spmd(full_program(workload), nranks,
+                    machine=MachineConfig(ranks_per_node=ranks_per_node),
+                    sim=sim or SimConfig(),
+                    epochs=spec.epochs, nbytes=spec.nbytes)
+
+
+def _stats_diff(full: dict, hybrid: dict) -> dict[str, Any]:
+    """Keys where the two stats dicts disagree (empty == exact parity)."""
+    diff: dict[str, Any] = {}
+    for key in sorted(set(full) | set(hybrid)):
+        fv, hv = full.get(key), hybrid.get(key)
+        if fv != hv:
+            diff[key] = {"full": fv, "hybrid": hv}
+    return diff
+
+
+def parity_case(workload: str, nranks: int, *, ranks_per_node: int = 1,
+                scale: ScaleConfig | None = None,
+                sim: SimConfig | None = None) -> dict[str, Any]:
+    """One parity cell: run both modes, diff the stats dicts exactly."""
+    full = run_full(workload, nranks, ranks_per_node=ranks_per_node,
+                    sim=sim)
+    hybrid = run_hybrid(workload, nranks, ranks_per_node=ranks_per_node,
+                        scale=scale, sim=sim)
+    diff = _stats_diff(full.stats, hybrid.stats)
+    return {
+        "workload": workload,
+        "nranks": nranks,
+        "ranks": format_ranks(nranks),
+        "ranks_per_node": ranks_per_node,
+        "sampled": len(hybrid.sample),
+        "exact": not diff,
+        "diff": diff,
+        "messages": hybrid.stats.get("messages"),
+        "by_kind": hybrid.stats.get("by_kind"),
+        "bounds": hybrid.bounds,
+        "full_sim_time_ns": full.sim_time_ns,
+        "hybrid_sim_time_ns": hybrid.sim_time_ns,
+    }
+
+
+def parity_table(rank_counts: list[int], *, ranks_per_node: int = 1,
+                 workloads: list[str] | None = None,
+                 scale: ScaleConfig | None = None,
+                 sim: SimConfig | None = None) -> dict[str, Any]:
+    """The full parity sweep: every workload at every size.
+
+    Returns a JSON-ready report with per-cell results and an overall
+    ``ok`` verdict (every cell exact, every bound satisfied).
+    """
+    names = workloads or sorted(WORKLOADS)
+    cases = [parity_case(w, p, ranks_per_node=ranks_per_node,
+                         scale=scale, sim=sim)
+             for w in names for p in rank_counts]
+    ok = all(c["exact"] and c["bounds"]["max_remote_ops_ok"]
+             for c in cases)
+    return {
+        "ok": ok,
+        "ranks_per_node": ranks_per_node,
+        "rank_counts": rank_counts,
+        "workloads": names,
+        "cases": cases,
+    }
+
+
+def hybrid_only_row(workload: str, nranks: int, *,
+                    ranks_per_node: int = 1,
+                    scale: ScaleConfig | None = None,
+                    sim: SimConfig | None = None) -> dict[str, Any]:
+    """A beyond-overlap row (no full-fidelity reference, bounds only)."""
+    res: HybridResult = run_hybrid(workload, nranks,
+                                   ranks_per_node=ranks_per_node,
+                                   scale=scale, sim=sim)
+    return {
+        "workload": workload,
+        "nranks": nranks,
+        "ranks": format_ranks(nranks),
+        "ranks_per_node": ranks_per_node,
+        "sampled": len(res.sample),
+        "messages": res.stats["messages"],
+        "by_kind": res.stats["by_kind"],
+        "bounds": res.bounds,
+        "hybrid_sim_time_ns": res.sim_time_ns,
+        "soa_nbytes": res.soa_nbytes,
+    }

@@ -1,0 +1,58 @@
+"""Rank-count units: ``"512Ki"``-style strings for the scale CLI.
+
+The paper quotes process counts in binary units (512Ki = 524,288 on
+Blue Waters); the CLI, the benchmarks and the CI scale-parity job all
+accept and print the same notation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["parse_ranks", "format_ranks", "parse_ranks_list"]
+
+_SUFFIXES = {
+    "": 1,
+    "K": 1000,
+    "M": 1000_000,
+    "KI": 1 << 10,
+    "MI": 1 << 20,
+    "GI": 1 << 30,
+}
+
+
+def parse_ranks(text: str | int) -> int:
+    """``"4096"`` -> 4096, ``"512Ki"`` -> 524288, ``"1Mi"`` -> 1048576."""
+    if isinstance(text, int):
+        n = text
+    else:
+        s = str(text).strip().upper()
+        for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+            if suffix and s.endswith(suffix):
+                digits = s[: -len(suffix)].strip()
+                break
+        else:
+            digits, suffix = s, ""
+        if not digits:
+            raise ValueError(f"bad rank count {text!r}")
+        try:
+            n = int(digits) * _SUFFIXES[suffix]
+        except ValueError:
+            raise ValueError(f"bad rank count {text!r}") from None
+    if n < 1:
+        raise ValueError(f"rank count {text!r} must be >= 1")
+    return n
+
+
+def parse_ranks_list(text: str) -> list[int]:
+    """Comma-separated rank counts: ``"256,1Ki,4Ki"`` -> [256, 1024, 4096]."""
+    out = [parse_ranks(part) for part in text.split(",") if part.strip()]
+    if not out:
+        raise ValueError(f"no rank counts in {text!r}")
+    return out
+
+
+def format_ranks(n: int) -> str:
+    """1048576 -> ``"1Mi"``; 4096 -> ``"4Ki"``; 192 -> ``"192"``."""
+    for suffix, mult in (("Mi", 1 << 20), ("Ki", 1 << 10)):
+        if n % mult == 0 and n >= mult:
+            return f"{n // mult}{suffix}"
+    return str(n)

@@ -1,0 +1,115 @@
+"""Canonical scale workloads: full-fidelity SPMD form + hybrid spec.
+
+One workload per synchronization substrate the paper benchmarks
+(Figure 6): active-target **fence**, generalized active-target **pscw**,
+passive-target **lock**, and **flush** under a shared lock_all.  Each
+exists as a module-level SPMD generator (picklable, runnable through
+``run_spmd`` on the real runtime) and as a :class:`~repro.scale.
+protocols.WorkloadSpec` driving the vectorized hybrid model -- the pair
+is what the parity gate compares.
+
+The shapes are contention-free ring patterns (every rank talks to its
+neighbors), chosen so message counts are deterministic at any rank
+count and the hybrid aggregate tier needs no conflict resolution:
+
+* ``fence``  -- allocate; fence; epochs x (put 8 B right; fence)
+* ``pscw``   -- allocate; epochs x (post [left]; start [right];
+  put right; complete; wait)
+* ``lock``   -- allocate; iters x (lock SHARED right; put; unlock)
+* ``flush``  -- allocate; lock_all; iters x (put right; flush); unlock_all
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rma.enums import LockType
+from repro.scale.protocols import WorkloadSpec
+
+__all__ = ["WORKLOADS", "WIN_BYTES", "full_program"]
+
+WIN_BYTES = 4096
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "fence": WorkloadSpec(
+        "fence", epochs=2, nbytes=8,
+        description="active-target fence epochs with ring puts"),
+    "pscw": WorkloadSpec(
+        "pscw", epochs=2, nbytes=8,
+        description="generalized active target: post/start/complete/wait"),
+    "lock": WorkloadSpec(
+        "lock", epochs=2, nbytes=8,
+        description="passive target: shared lock / put / unlock ring"),
+    "flush": WorkloadSpec(
+        "flush", epochs=2, nbytes=8,
+        description="passive target: puts flushed under a shared lock_all"),
+}
+
+
+def _payload(ctx, nbytes: int) -> np.ndarray:
+    return np.full(nbytes, ctx.rank % 127 + 1, dtype=np.uint8)
+
+
+def _fence_program(ctx, epochs: int, nbytes: int):
+    win = yield from ctx.rma.win_allocate(WIN_BYTES)
+    right = (ctx.rank + 1) % ctx.nranks
+    data = _payload(ctx, nbytes)
+    yield from win.fence()
+    for e in range(epochs):
+        yield from win.put(data, right, 0)
+        yield from win.fence(no_succeed=(e == epochs - 1))
+    return ctx.now
+
+
+def _pscw_program(ctx, epochs: int, nbytes: int):
+    win = yield from ctx.rma.win_allocate(WIN_BYTES)
+    left = (ctx.rank - 1) % ctx.nranks
+    right = (ctx.rank + 1) % ctx.nranks
+    data = _payload(ctx, nbytes)
+    for _ in range(epochs):
+        yield from win.post([left])
+        yield from win.start([right])
+        yield from win.put(data, right, 0)
+        yield from win.complete()
+        yield from win.wait()
+    return ctx.now
+
+
+def _lock_program(ctx, epochs: int, nbytes: int):
+    win = yield from ctx.rma.win_allocate(WIN_BYTES)
+    right = (ctx.rank + 1) % ctx.nranks
+    data = _payload(ctx, nbytes)
+    for _ in range(epochs):
+        yield from win.lock(right, LockType.SHARED)
+        yield from win.put(data, right, 0)
+        yield from win.unlock(right)
+    return ctx.now
+
+
+def _flush_program(ctx, epochs: int, nbytes: int):
+    win = yield from ctx.rma.win_allocate(WIN_BYTES)
+    right = (ctx.rank + 1) % ctx.nranks
+    data = _payload(ctx, nbytes)
+    yield from win.lock_all()
+    for _ in range(epochs):
+        yield from win.put(data, right, 0)
+        yield from win.flush(right)
+    yield from win.unlock_all()
+    return ctx.now
+
+
+_PROGRAMS = {
+    "fence": _fence_program,
+    "pscw": _pscw_program,
+    "lock": _lock_program,
+    "flush": _flush_program,
+}
+
+
+def full_program(name: str):
+    """Module-level SPMD program for ``name`` (for run_spmd / pools)."""
+    try:
+        return _PROGRAMS[name]
+    except KeyError:
+        raise ValueError(f"unknown scale workload {name!r}; "
+                         f"have {sorted(WORKLOADS)}") from None

@@ -3,7 +3,8 @@
 from repro.bench.perfgate import calibration_rate, compare_reports
 
 
-def _report(scale=1.0, cal=10_000_000.0, with_figures=True):
+def _report(scale=1.0, cal=10_000_000.0, with_figures=True,
+            with_scale=False):
     rep = {
         "calibration_rate": cal,
         "kernel": {
@@ -18,6 +19,12 @@ def _report(scale=1.0, cal=10_000_000.0, with_figures=True):
     if with_figures:
         # Wall time scales inversely with throughput.
         rep["figures"] = {"wall_s": {"fig7a": 40.0 / scale, "fig9": 0.4}}
+    if with_scale:
+        rep["scale"] = {
+            "workload": "fence",
+            "ranks_per_sec": {"4Ki": 100_000 * scale,
+                              "1Mi": 500_000 * scale},
+        }
     return rep
 
 
@@ -58,6 +65,56 @@ def test_missing_kernel_metric_fails():
     current["kernel"]["workloads"].pop(0)
     failures, _ = compare_reports(_report(), current)
     assert failures == ["kernel.ring: missing from current report"]
+
+
+def test_scale_section_gated_like_kernel_rates():
+    base = _report(with_scale=True)
+    failures, lines = compare_reports(base, _report(with_scale=True))
+    assert failures == []
+    assert any(line.startswith("ok") and "scale.1Mi" in line
+               for line in lines)
+    failures, _ = compare_reports(base, _report(scale=0.5, with_scale=True))
+    assert [f for f in failures if f.startswith("scale.")] == [
+        "scale.1Mi: 250,000 ranks/s below floor 375,000 "
+        "(>25% drop vs scaled baseline)",
+        "scale.4Ki: 50,000 ranks/s below floor 75,000 "
+        "(>25% drop vs scaled baseline)",
+    ]
+
+
+def test_scale_absent_from_baseline_warns_and_passes():
+    # Older baselines predate the scale section; a current report that
+    # has one must not fail against them.
+    failures, lines = compare_reports(_report(), _report(with_scale=True))
+    assert failures == []
+    assert any(line == "skip scale: not in baseline" for line in lines)
+
+
+def test_scale_absent_from_current_warns_and_passes():
+    # Scale sweeps are optional in a kernel-only session -- unlike
+    # kernel metrics, a missing scale metric is a skip, not a failure.
+    failures, lines = compare_reports(_report(with_scale=True), _report())
+    assert failures == []
+    assert any("skip scale.1Mi: not in current report" in line
+               for line in lines)
+
+
+def test_malformed_kernel_entries_do_not_crash():
+    # Hand-edited or truncated reports must degrade to skips/failures,
+    # never a KeyError inside the gate.
+    current = _report()
+    current["kernel"]["workloads"] = [{"workload": "ring"}, {"bogus": 1}]
+    current["kernel"]["full_stack"] = {}
+    failures, _ = compare_reports(_report(), current)
+    assert sorted(failures) == [
+        "kernel.full_stack: missing from current report",
+        "kernel.putget_pattern: missing from current report",
+        "kernel.ring: missing from current report",
+    ]
+    # Entirely empty current report: everything missing, nothing raised.
+    failures, _ = compare_reports(_report(with_scale=True), {})
+    assert len([f for f in failures if f.startswith("kernel.")]) == 3
+    assert not [f for f in failures if f.startswith("scale.")]
 
 
 def test_calibration_scales_expectations():

@@ -1,0 +1,49 @@
+"""Hybrid-vs-full exact message-count parity at overlapping sizes.
+
+The load-bearing claim of the scale mode: at sizes the full DES can
+execute, a hybrid run's ``stats`` dict equals the full-fidelity run's
+``OpCounters.snapshot()`` **exactly** -- total messages, bytes moved,
+per-kind counts, per-rank maxima -- across workloads, rank counts
+(powers of two and not), and placements (1 and 32 ranks/node).
+"""
+
+import pytest
+
+from repro.scale.parity import parity_case, parity_table
+
+WORKLOADS = ["fence", "pscw", "lock", "flush"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("nranks", [2, 3, 16, 63])
+def test_exact_parity_rpn1(workload, nranks):
+    case = parity_case(workload, nranks, ranks_per_node=1)
+    assert case["exact"], case["diff"]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("nranks", [16, 63, 96])
+def test_exact_parity_rpn32(workload, nranks):
+    # 32 ranks/node: intra-node puts become XPMEM stores, PSCW posts
+    # become message-free CPU atomics -- the kind split must match too.
+    case = parity_case(workload, nranks, ranks_per_node=32)
+    assert case["exact"], case["diff"]
+
+
+def test_parity_table_verdict():
+    table = parity_table([16, 32], ranks_per_node=32,
+                         workloads=["fence", "lock"])
+    assert table["ok"]
+    assert len(table["cases"]) == 4
+    for case in table["cases"]:
+        assert case["exact"]
+        assert case["bounds"]["max_remote_ops_ok"]
+
+
+def test_olog_bounds_present():
+    case = parity_case("fence", 64, ranks_per_node=32)
+    bounds = case["bounds"]
+    assert bounds["log2p"] == 6
+    assert bounds["fence_rounds"] == 6
+    assert bounds["max_remote_ops"] <= bounds["max_remote_ops_budget"]
+    assert bounds["control_words_per_rank"] == 78

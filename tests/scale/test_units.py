@@ -1,0 +1,37 @@
+"""Rank-count unit parsing/formatting."""
+
+import pytest
+
+from repro.scale.units import format_ranks, parse_ranks, parse_ranks_list
+
+
+def test_parse_plain_and_binary():
+    assert parse_ranks("4096") == 4096
+    assert parse_ranks("4Ki") == 4096
+    assert parse_ranks("512Ki") == 524288
+    assert parse_ranks("1Mi") == 1 << 20
+    assert parse_ranks("1mi") == 1 << 20
+    assert parse_ranks("2K") == 2000
+    assert parse_ranks("1M") == 1_000_000
+    assert parse_ranks(64) == 64
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "Ki", "x4", "4.5Ki", "0", "-8"):
+        with pytest.raises(ValueError):
+            parse_ranks(bad)
+
+
+def test_parse_list():
+    assert parse_ranks_list("256,1Ki,4Ki") == [256, 1024, 4096]
+    with pytest.raises(ValueError):
+        parse_ranks_list(" , ")
+
+
+def test_format_roundtrip():
+    assert format_ranks(1 << 20) == "1Mi"
+    assert format_ranks(524288) == "512Ki"
+    assert format_ranks(4096) == "4Ki"
+    assert format_ranks(192) == "192"
+    for n in (2, 512, 4096, 524288, 1 << 20):
+        assert parse_ranks(format_ranks(n)) == n
