@@ -30,6 +30,7 @@ REPORT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_simperf.json"
 
 _FIGURE_TIMES: dict[str, float] = {}
 _SCALE_SECTION: dict = {}
+_SERVE_SECTION: dict = {}
 
 
 def pytest_addoption(parser):
@@ -82,9 +83,28 @@ def record_scale():
     return _write
 
 
+@pytest.fixture
+def record_serve():
+    """Collect the KV-serving throughput/tail-latency section.
+
+    ``bench_kvstore.py`` reports req/s and exact p99 per (variant, p)
+    here; session finish merges them into ``BENCH_simperf.json`` under
+    the ``"serve"`` key, same merge discipline as ``record_scale``.
+    """
+
+    def _write(section: dict) -> None:
+        for key, value in section.items():
+            if isinstance(value, dict):
+                _SERVE_SECTION.setdefault(key, {}).update(value)
+            else:
+                _SERVE_SECTION[key] = value
+
+    return _write
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Merge per-figure wall times + pool/cache totals into the report."""
-    if not _FIGURE_TIMES and not _SCALE_SECTION:
+    if not _FIGURE_TIMES and not _SCALE_SECTION and not _SERVE_SECTION:
         return
     try:
         from repro.bench.cache import cache_enabled, default_cache_dir
@@ -120,15 +140,18 @@ def pytest_sessionfinish(session, exitstatus):
     if walls:
         report["figures"] = {"wall_s": dict(sorted(walls.items())),
                              "total_wall_s": round(sum(walls.values()), 3)}
-    if _SCALE_SECTION:
-        prior_scale = report.get("scale", {})
-        merged = dict(prior_scale) if isinstance(prior_scale, dict) else {}
-        for key, value in _SCALE_SECTION.items():
+    for section_key, collected in (("scale", _SCALE_SECTION),
+                                   ("serve", _SERVE_SECTION)):
+        if not collected:
+            continue
+        prior_sec = report.get(section_key, {})
+        merged = dict(prior_sec) if isinstance(prior_sec, dict) else {}
+        for key, value in collected.items():
             if isinstance(value, dict) and isinstance(merged.get(key), dict):
                 merged[key] = {**merged[key], **value}
             else:
                 merged[key] = value
-        report["scale"] = merged
+        report[section_key] = merged
     report["pool"] = {"workers": default_workers(),
                       "points": totals.points,
                       "executed": totals.executed,

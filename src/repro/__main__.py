@@ -24,6 +24,14 @@ Commands
                     ``smoke`` runs every workload hybrid at paper scale
                     (``--ranks 512Ki``) under a wall-clock budget,
                     ``run`` runs one workload and prints its stats
+``serve kvstore``   serve a seeded Zipfian open-loop workload against the
+                    RMA KV store (or the ``--variant mpi1`` comparator)
+                    and print the deterministic tail-latency report;
+                    ``--slo-p99-us`` gates the exact p99 (exit 1 on
+                    violation); ``--ft --crash R`` crashes rank R
+                    mid-serve, recovers, verifies the final store state
+                    bit-for-bit and reports the availability gap and
+                    post-recovery p99
 ``ft <wl>``         crash-to-completion experiment: run the FT workload
                     (``hashtable``) fault-free, crash ``--crash-rank`` at
                     ``--crash-frac`` of the reference run, recover, and
@@ -212,6 +220,44 @@ def main(argv=None) -> int:
     sc.add_argument("--out", metavar="PATH", default=None,
                     help="write the JSON report (parity table / smoke "
                          "rows)")
+    sv = sub.add_parser("serve")
+    sv.add_argument("workload", nargs="?", default="kvstore",
+                    help="only 'kvstore' for now")
+    sv.add_argument("--ranks", type=int, default=8)
+    sv.add_argument("--clients", type=int, default=None,
+                    help="alias for --ranks (one client per rank)")
+    sv.add_argument("--requests", type=int, default=4000,
+                    help="total requests across all clients")
+    sv.add_argument("--nkeys", type=int, default=512)
+    sv.add_argument("--skew", type=float, default=0.99,
+                    help="Zipf theta (0 = uniform)")
+    sv.add_argument("--rate", type=float, default=2e5,
+                    help="per-client open-loop arrival rate [req/s]")
+    sv.add_argument("--get-frac", type=float, default=0.8)
+    sv.add_argument("--update-frac", type=float, default=0.1)
+    sv.add_argument("--seed", type=int, default=None)
+    sv.add_argument("--rpn", type=int, default=8,
+                    help="ranks per node (fault-free runs; --ft always "
+                         "places one rank per node)")
+    sv.add_argument("--stripes", type=int, default=8,
+                    help="MCS lock stripes per store rank")
+    sv.add_argument("--variant", choices=("rma", "mpi1"), default="rma")
+    sv.add_argument("--check", action="store_true",
+                    help="also attach the memory-model checker (exit 1 "
+                         "on violations)")
+    sv.add_argument("--ft", action="store_true",
+                    help="crash-through serving over rollback recovery")
+    sv.add_argument("--crash", type=int, default=1, metavar="RANK")
+    sv.add_argument("--crash-frac", type=float, default=0.5)
+    sv.add_argument("--interval", type=int, default=16,
+                    help="checkpoint every N requests (--ft)")
+    sv.add_argument("--slo-p99-us", type=float, default=None,
+                    help="fail (exit 1) if exact p99 exceeds this")
+    sv.add_argument("--slo-gap-us", type=float, default=None,
+                    help="fail (exit 1) if the availability gap "
+                         "exceeds this (--ft)")
+    sv.add_argument("--out", metavar="PATH", default=None,
+                    help="write the JSON report")
     ft = sub.add_parser("ft")
     ft.add_argument("workload", nargs="?", default="hashtable",
                     help="'hashtable' (single crash-to-completion "
@@ -338,6 +384,8 @@ def main(argv=None) -> int:
         return _check_cmd(args)
     elif args.cmd == "scale":
         return _scale_cmd(args)
+    elif args.cmd == "serve":
+        return _serve_cmd(args)
     elif args.cmd == "ft":
         return _ft_cmd(args)
     return 0
@@ -427,6 +475,82 @@ def _scale_cmd(args) -> int:
           f"SoA {res.soa_nbytes / 1e6:.1f} MB")
     print(json.dumps(res.stats, indent=1))
     return 0
+
+
+def _serve_cmd(args) -> int:
+    """``repro serve``: open-loop KV serving with a deterministic
+    tail-latency report.  Exit code 1 iff an SLO gate fails, the FT
+    final state mismatches, or the checker finds a violation."""
+    import json
+
+    from repro.config import SimConfig
+    from repro.serve.slo import build_report, render_report
+    from repro.serve.zipf import ServeSpec
+
+    if args.workload != "kvstore":
+        raise SystemExit(f"unknown serve workload {args.workload!r} "
+                         "(expected 'kvstore')")
+    nranks = args.clients if args.clients is not None else args.ranks
+    seed = SimConfig.seed if args.seed is None else args.seed
+    spec = ServeSpec(nkeys=args.nkeys, theta=args.skew,
+                     get_frac=args.get_frac, update_frac=args.update_frac,
+                     total_requests=args.requests, rate_hz=args.rate,
+                     seed=seed, ft_mode=args.ft)
+    failures = []
+
+    if args.ft:
+        from repro.apps.kvstore.ft_kv import run_kv_crash_to_completion
+
+        out = run_kv_crash_to_completion(
+            nranks, spec, crash_rank=args.crash,
+            crash_frac=args.crash_frac, interval=args.interval)
+        report = build_report(out.recovered, spec, nranks, variant="rma-ft")
+        report["ft"] = out.report_section()
+        if not out.match:
+            failures.append("final store state MISMATCHES the "
+                            "fault-free run")
+        if args.slo_gap_us is not None and \
+                out.availability_gap_ns > args.slo_gap_us * 1e3:
+            failures.append(
+                f"availability gap {out.availability_gap_ns / 1e3:.2f} us "
+                f"exceeds the {args.slo_gap_us:.2f} us SLO")
+    elif args.variant == "mpi1":
+        from repro.apps.kvstore.mpi1_kv import mpi1_kv_program
+        from repro.config import MachineConfig, ObsConfig
+        from repro.runtime.job import run_spmd
+
+        res = run_spmd(mpi1_kv_program, nranks, spec,
+                       machine=MachineConfig(ranks_per_node=args.rpn),
+                       sim=SimConfig(seed=spec.seed),
+                       obs=ObsConfig(enabled=True))
+        report = build_report(res, spec, nranks, variant="mpi1")
+    else:
+        from repro.serve.driver import run_kv_serve
+
+        res = run_kv_serve(nranks, spec, n_stripes=args.stripes,
+                           ranks_per_node=args.rpn, check=args.check)
+        report = build_report(res, spec, nranks, variant="rma")
+        if args.check:
+            from repro.check.report import render_check_report
+
+            print(render_check_report(res.check,
+                                      f"serve kvstore ({nranks} ranks)"))
+            print()
+            if not res.check.clean:
+                failures.append("memory-model checker found violations")
+
+    print(render_report(report))
+    p99_us = report["latency_ns"]["p99"] / 1e3
+    if args.slo_p99_us is not None and p99_us > args.slo_p99_us:
+        failures.append(f"p99 {p99_us:.2f} us exceeds the "
+                        f"{args.slo_p99_us:.2f} us SLO")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    for msg in failures:
+        print(f"SLO FAILED: {msg}")
+    return 1 if failures else 0
 
 
 def _ft_cmd(args) -> int:

@@ -17,10 +17,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["HashTableLayout", "hash_key", "random_keys", "verify_contents"]
+__all__ = ["HashTableLayout", "hash_key", "place_key", "heap_cells_for",
+           "claim_overflow_cell", "random_keys", "verify_contents",
+           "DEFAULT_TABLE_SLOTS"]
 
 _MIX = 0x9E3779B97F4A7C15
 _M64 = (1 << 64) - 1
+
+#: The one source of truth for the fig7a table geometry.  Every consumer
+#: (appbench sweeps, the demo, and the kvstore app built on the same
+#: placement) derives from these so the apps cannot drift apart.
+DEFAULT_TABLE_SLOTS = 64
+
+
+def heap_cells_for(inserts_per_rank: int) -> int:
+    """Overflow-heap sizing rule shared by every hashtable consumer."""
+    return max(64, 4 * inserts_per_rank)
 
 
 def hash_key(key: int) -> int:
@@ -31,12 +43,36 @@ def hash_key(key: int) -> int:
     return z ^ (z >> 31)
 
 
+def place_key(key: int, nranks: int, table_slots: int) -> tuple[int, int]:
+    """(owner rank, table slot) for a key -- the placement function every
+    hashtable variant (fig7a RMA/UPC/MPI-1 and the kvstore) agrees on."""
+    h = hash_key(key)
+    return (h % nranks, (h >> 20) % table_slots)
+
+
+def claim_overflow_cell(counter: int, heap_cells: int) -> int:
+    """1-based heap cell a next-free-counter FADD acquired (``counter``
+    is the FADD's *old* value); the one overflow rule shared by the RMA,
+    UPC, owner-side, and kvstore variants."""
+    cell = int(counter) + 1
+    if cell > heap_cells:
+        raise OverflowError("hashtable overflow heap exhausted")
+    return cell
+
+
 @dataclass(frozen=True)
 class HashTableLayout:
     """Geometry of each rank's local volume."""
 
     table_slots: int
     heap_cells: int
+
+    @classmethod
+    def default(cls, inserts_per_rank: int,
+                table_slots: int = DEFAULT_TABLE_SLOTS) -> "HashTableLayout":
+        """The canonical fig7a geometry for a given per-rank insert load."""
+        return cls(table_slots=table_slots,
+                   heap_cells=heap_cells_for(inserts_per_rank))
 
     @property
     def words(self) -> int:
@@ -63,8 +99,13 @@ class HashTableLayout:
     # -- key placement ----------------------------------------------------
     def place(self, key: int, nranks: int) -> tuple[int, int]:
         """(owner rank, table slot) for a key."""
-        h = hash_key(key)
-        return (h % nranks, (h >> 20) % self.table_slots)
+        return place_key(key, nranks, self.table_slots)
+
+    def claim_cell(self, counter: int) -> int:
+        """The 1-based heap cell a fetch-and-add of the next-free counter
+        acquired (``counter`` is the FADD's *old* value); delegates to the
+        module-level rule shared with the kvstore layout."""
+        return claim_overflow_cell(counter, self.heap_cells)
 
     # -- local application (owner-side, used by MPI-1 + verification) ------
     def insert_local(self, volume: np.ndarray, slot: int, value: int) -> None:
@@ -73,10 +114,8 @@ class HashTableLayout:
         if volume[vslot] == 0:
             volume[vslot] = value
             return
-        cell = int(volume[0]) + 1  # 1-based heap cell
+        cell = self.claim_cell(volume[0])  # 1-based heap cell
         volume[0] += 1
-        if cell > self.heap_cells:
-            raise OverflowError("hashtable overflow heap exhausted")
         volume[self.heap_value(cell)] = value
         old_head = volume[self.slot_head(slot)]
         volume[self.slot_head(slot)] = cell

@@ -30,9 +30,7 @@ def rma_insert(win, layout: HashTableLayout, key: int):
         return "table"
     # Collision: acquire an overflow cell at the owner ...
     cell0 = yield from win.fetch_and_op(np.int64(1), owner, 0, Op.SUM)
-    cell = int(cell0) + 1  # 1-based
-    if cell > layout.heap_cells:
-        raise OverflowError("hashtable overflow heap exhausted")
+    cell = layout.claim_cell(cell0)  # 1-based
     # ... publish the value, link the chain head, fix the next pointer.
     yield from win.put(np.array([key], np.int64), owner,
                        layout.heap_value(cell))

@@ -20,9 +20,7 @@ def upc_insert(ctx, arr, layout: HashTableLayout, key: int):
     if int(old) == 0:
         return "table"
     cell0 = yield from ctx.upc.aadd(arr, owner, 0, 1)
-    cell = int(cell0) + 1
-    if cell > layout.heap_cells:
-        raise OverflowError("hashtable overflow heap exhausted")
+    cell = layout.claim_cell(cell0)
     yield from ctx.upc.memput_nb(arr, owner, 8 * layout.heap_value(cell),
                                  np.array([key], np.int64))
     # second CAS-style update of the chain head: fetch old head, link

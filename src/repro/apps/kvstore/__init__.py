@@ -1,0 +1,12 @@
+"""RMA-backed distributed key-value store (paper Section 4.1, extended).
+
+:class:`KvLayout` / :class:`KvStore` are the chained-hash RMA store;
+:mod:`repro.apps.kvstore.mpi1_kv` is the two-sided comparator and
+:mod:`repro.apps.kvstore.ft_kv` the crash-through serving mode (imported
+by path to keep this package free of a ``repro.serve`` import cycle).
+"""
+
+from repro.apps.kvstore.layout import KvLayout
+from repro.apps.kvstore.rma_kv import KvStore
+
+__all__ = ["KvLayout", "KvStore"]

@@ -1,0 +1,139 @@
+"""MPI-1 KV comparator: request/reply active messages (fig7a-style).
+
+The two-sided baseline for the serving benchmark: every remote operation
+sends a request to the owner, which must *actively receive* it, apply it
+to a local dict, and send the reply -- the receiver involvement the RMA
+store eliminates.  Clients keep at most one request outstanding, so any
+``TAG_REP`` belongs to the current request; while waiting for a reply
+(or pacing the open loop), incoming requests are served inline.
+
+Termination mirrors :mod:`repro.apps.hashtable.mpi1_ht`: a rank's DONE
+fan-out follows all its requests on the same channel (non-overtaking),
+and its requests complete (reply received) before DONE is sent, so after
+``nranks - 1`` DONEs no request can still be in flight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.hashtable.common import DEFAULT_TABLE_SLOTS, place_key
+from repro.serve.zipf import OP_GET, OP_PUT, ServeSpec, client_schedule
+
+__all__ = ["mpi1_kv_program"]
+
+_MASK63 = (1 << 63) - 1
+_TAG_REQ = 1
+_TAG_REP = 2
+_TAG_DONE = 3
+_HANDLER_NS = 60     # owner-side handler cost per served request
+_IDLE_POLL_NS = 400  # unexpected-queue poll backoff while pacing
+
+
+def owner_of(key: int, nranks: int) -> int:
+    """Same placement as the RMA store (store key = schedule key + 1)."""
+    return place_key(key + 1, nranks, DEFAULT_TABLE_SLOTS)[0]
+
+
+def apply_local(store: dict, op: int, key: int, value: int) -> int:
+    """Owner-side handler; semantics match :class:`KvStore` exactly."""
+    if op == OP_GET:
+        return store.get(key, 0)
+    if op == OP_PUT:
+        store[key] = value & _MASK63
+        return 0
+    # UPDATE: add to the current value, or insert the delta if absent
+    # (the RMA store's CAS-update semantics).
+    store[key] = (store[key] + value) & _MASK63 if key in store \
+        else value & _MASK63
+    return store[key]
+
+
+def mpi1_kv_program(ctx, spec: ServeSpec):
+    """One rank of the MPI-1 serving phase.
+
+    Returns ``(lat, contents)`` shaped like
+    :func:`repro.serve.driver.kv_serve_program`'s result (1-based store
+    keys), so the two backends' final states are directly comparable.
+    """
+    from repro.serve.driver import initial_value
+
+    rank, nranks = ctx.rank, ctx.nranks
+    store: dict[int, int] = {}
+    # Owner-side preload: the dict IS the partition, so each owner just
+    # installs its keys (the RMA variant pays puts for the same effect).
+    for key in range(spec.nkeys):
+        if owner_of(key, nranks) == rank:
+            store[key + 1] = initial_value(spec.seed, key)
+    yield from ctx.coll.barrier()
+
+    pending = []
+    done_seen = 0
+
+    def serve(payload):
+        op, key, value, src = payload
+        yield from ctx.compute(_HANDLER_NS)
+        result = apply_local(store, op, key + 1, value)
+        req = yield from ctx.mpi.isend(src, result, tag=_TAG_REP,
+                                       channel="kv", nbytes=8)
+        pending.append(req)
+
+    sched = client_schedule(spec, rank, nranks)
+    lat = np.zeros((len(sched), 3), dtype=np.int64)
+    t0 = ctx.now
+    obs = ctx.obs
+    for i in range(len(sched)):
+        t_arr = t0 + int(sched[i, 0])
+        while ctx.now < t_arr:
+            msg = ctx.mpi.improbe(channel="kv")
+            if msg is None:
+                yield ctx.env.timeout(min(_IDLE_POLL_NS, t_arr - ctx.now))
+            else:
+                payload = yield from ctx.mpi.mrecv(msg)
+                if msg.tag == _TAG_DONE:
+                    done_seen += 1
+                elif msg.tag == _TAG_REQ:
+                    yield from serve(payload)
+        op, key, value = int(sched[i, 1]), int(sched[i, 2]), int(sched[i, 3])
+        owner = owner_of(key, nranks)
+        if owner == rank:
+            yield from ctx.compute(_HANDLER_NS)
+            apply_local(store, op, key + 1, value)
+        else:
+            req = yield from ctx.mpi.isend(owner, (op, key, value, rank),
+                                           tag=_TAG_REQ, channel="kv",
+                                           nbytes=32)
+            pending.append(req)
+            while True:
+                rreq = ctx.mpi.irecv(channel="kv")
+                payload = yield from rreq.wait()
+                tag = rreq.message.tag
+                if tag == _TAG_REP:
+                    break
+                if tag == _TAG_DONE:
+                    done_seen += 1
+                else:
+                    yield from serve(payload)
+        done = ctx.now
+        lat[i] = (t_arr, done, op)
+        if obs is not None:
+            obs.metrics.observe("kv.latency_ns", rank, done - t_arr)
+
+    for req in pending:
+        yield from req.wait()
+    pending.clear()
+    for other in range(nranks):
+        if other != rank:
+            yield from ctx.mpi.isend(other, None, tag=_TAG_DONE,
+                                     channel="kv", nbytes=0)
+    while done_seen < nranks - 1:
+        rreq = ctx.mpi.irecv(channel="kv")
+        payload = yield from rreq.wait()
+        if rreq.message.tag == _TAG_DONE:
+            done_seen += 1
+        elif rreq.message.tag == _TAG_REQ:
+            yield from serve(payload)
+    for req in pending:
+        yield from req.wait()
+    yield from ctx.coll.barrier()
+    return lat, dict(store)

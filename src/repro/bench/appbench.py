@@ -21,7 +21,7 @@ from repro.config import MachineConfig
 from repro.runtime.job import run_spmd
 
 __all__ = ["hashtable_rate", "dsde_time_us", "fft_gflops", "milc_time_s",
-           "HT_PROGRAMS"]
+           "kv_serve_stats", "HT_PROGRAMS"]
 
 HT_PROGRAMS = {
     "fompi": rma_insert_program,
@@ -36,10 +36,14 @@ def _machine(ranks_per_node: int) -> MachineConfig:
 
 def hashtable_rate(variant: str, p: int, inserts_per_rank: int = 64, *,
                    ranks_per_node: int = 32,
-                   table_slots: int = 64) -> float:
+                   table_slots: int | None = None) -> float:
     """Aggregate inserts/second (Figure 7a's y axis)."""
-    layout = HashTableLayout(table_slots=table_slots,
-                             heap_cells=max(64, 4 * inserts_per_rank))
+    from repro.apps.hashtable.common import DEFAULT_TABLE_SLOTS
+
+    layout = HashTableLayout.default(
+        inserts_per_rank,
+        table_slots=DEFAULT_TABLE_SLOTS if table_slots is None
+        else table_slots)
     res = run_spmd(HT_PROGRAMS[variant], p, layout, inserts_per_rank,
                    machine=_machine(ranks_per_node))
     worst = max(res.returns)
@@ -61,6 +65,42 @@ def fft_gflops(variant: str, p: int, spec: FftSpec | None = None, *,
     res = run_spmd(fft_program, p, spec, variant,
                    machine=_machine(ranks_per_node))
     return min(g for _t, g in res.returns)
+
+
+def kv_serve_stats(variant: str, p: int, total_requests: int = 4000, *,
+                   nkeys: int = 512, theta: float = 0.99,
+                   rate_hz: float = 2e5, seed: int | None = None,
+                   ranks_per_node: int = 8) -> dict:
+    """One open-loop KV serving run (``repro.serve``): throughput and
+    exact tail latencies for the RMA store or the MPI-1 comparator.
+
+    Returns a plain dict (picklable, cacheable by the bench run cache):
+    ``{"throughput_rps", "p50_ns", "p99_ns", "p99_9_ns", "sim_time_ns"}``.
+    """
+    from repro.config import ObsConfig, SimConfig
+    from repro.serve.driver import run_kv_serve
+    from repro.serve.slo import build_report
+    from repro.serve.zipf import ServeSpec
+
+    spec = ServeSpec(nkeys=nkeys, theta=theta, total_requests=total_requests,
+                     rate_hz=rate_hz,
+                     seed=SimConfig.seed if seed is None else seed)
+    if variant == "rma":
+        res = run_kv_serve(p, spec, ranks_per_node=ranks_per_node)
+    elif variant == "mpi1":
+        from repro.apps.kvstore.mpi1_kv import mpi1_kv_program
+
+        res = run_spmd(mpi1_kv_program, p, spec,
+                       machine=_machine(ranks_per_node),
+                       sim=SimConfig(seed=spec.seed),
+                       obs=ObsConfig(enabled=True))
+    else:
+        raise ValueError(f"unknown kv serve variant {variant!r}")
+    report = build_report(res, spec, p, variant=variant)
+    lat = report["latency_ns"]
+    return {"throughput_rps": report["throughput_rps"],
+            "p50_ns": lat["p50"], "p99_ns": lat["p99"],
+            "p99_9_ns": lat["p99_9"], "sim_time_ns": report["sim_time_ns"]}
 
 
 def milc_time_s(variant: str, p: int, spec: MilcSpec | None = None, *,

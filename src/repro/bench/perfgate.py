@@ -71,6 +71,18 @@ def _scale_rates(report: dict) -> dict[str, float]:
             if rate is not None}
 
 
+def _serve_rates(report: dict) -> dict[str, float]:
+    """Flatten a report's serve section to {metric: requests/sec}.
+
+    Simulated throughput, so a regression here means the *modeled*
+    serving pipeline got slower (protocol change), not the host.
+    """
+    section = report.get("serve") or {}
+    rps = section.get("throughput_rps") or {}
+    return {f"serve.{label}": float(rate) for label, rate in rps.items()
+            if rate is not None}
+
+
 def compare_reports(baseline: dict, current: dict, *,
                     current_calibration: float | None = None,
                     max_drop: float = 0.25,
@@ -96,14 +108,17 @@ def compare_reports(baseline: dict, current: dict, *,
              f"baseline {base_cal or 'n/a'})"]
 
     # Rate sections: kernel events/sec and hybrid-scale ranks/sec share
-    # the higher-is-better machine-scaled floor logic.  A section absent
-    # from the *baseline* warns and passes (older baselines predate the
-    # section); a metric absent from the *current* report fails only for
-    # the kernel section, which every perf run produces -- scale sweeps
-    # are optional in a kernel-only session.
-    for section, extract, unit, required in (
-            ("kernel", _kernel_rates, "ev/s", True),
-            ("scale", _scale_rates, "ranks/s", False)):
+    # the higher-is-better machine-scaled floor logic; simulated rates
+    # (KV serving req/s) are machine-independent, so their floor is NOT
+    # scaled.  A section absent from the *baseline* warns and passes
+    # (older baselines predate the section); a metric absent from the
+    # *current* report fails only for the kernel section, which every
+    # perf run produces -- scale/serve sweeps are optional in a
+    # kernel-only session.
+    for section, extract, unit, required, scaled in (
+            ("kernel", _kernel_rates, "ev/s", True, True),
+            ("scale", _scale_rates, "ranks/s", False, True),
+            ("serve", _serve_rates, "req/s", False, False)):
         if section not in baseline:
             lines.append(f"skip {section}: not in baseline")
             continue
@@ -118,7 +133,8 @@ def compare_reports(baseline: dict, current: dict, *,
                 else:
                     lines.append(f"skip {name}: not in current report")
                 continue
-            floor = base_rates[name] * scale * (1.0 - max_drop)
+            floor = base_rates[name] * (scale if scaled else 1.0) \
+                * (1.0 - max_drop)
             ok = cur >= floor
             verdict = "ok  " if ok else "FAIL"
             lines.append(

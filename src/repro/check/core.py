@@ -181,6 +181,7 @@ class RaceChecker:
         self._locks: dict[tuple[int, int], _LockSync] = {}
         self._pscw_post: dict[tuple, deque] = {}
         self._pscw_done: dict[tuple, deque] = {}
+        self._mcs: dict[tuple, VectorClock] = {}
         self._oseq: dict[tuple[int, int], int] = {}
         # Shadow store:
         self._shadow: dict[tuple[int, int], _Shadow] = {}
@@ -345,6 +346,28 @@ class RaceChecker:
                 (win.win_id, j, win.rank), deque()).append(vc)
         self._bump_oseq(win.rank, win.win_id)
 
+    def mcs_acquired(self, rank: int, key: tuple) -> None:
+        """An MCS queue lock (:class:`repro.rma.mcs.McsLock`) was acquired
+        by ``rank``.  ``key`` identifies the lock instance
+        (``(win_id, cell_base)``).  MCS locks are exclusive, so the
+        acquire is ordered after *every* prior release: merge the
+        accumulated release clock.  Without this edge, lock-ordered
+        read-modify-write sequences (the kvstore's CAS-update path) would
+        be reported as races."""
+        self._acquire(rank, self._mcs.get(key))
+
+    def mcs_released(self, rank: int, key: tuple) -> None:
+        """``rank`` releases an MCS lock: deposit its clock.  Called at
+        release *entry* -- before the hand-off AMO fires -- so the deposit
+        is in place by the time any successor's acquire completes (event
+        order guarantees the hook runs first)."""
+        vc = self._deposit(rank)
+        cur = self._mcs.get(key)
+        if cur is None:
+            self._mcs[key] = vc
+        else:
+            cur.merge(vc)
+
     def pscw_wait(self, win, origins) -> None:
         """Merged at wait() exit, one deposit per access-epoch origin."""
         merged: VectorClock | None = None
@@ -446,6 +469,35 @@ class RaceChecker:
         rec = Access(
             rank=rank, kind=f"local_{kind}", op=None, win_id=win.win_id,
             target=rank, ranges=((lo, lo + nbytes),),
+            oseq=self._oseq.get((rank, win.win_id), 0),
+            clock=self.clocks[rank].copy(), t_ns=win.ctx.now,
+            epoch=epochs.epoch_context(win))
+        self._insert(rec)
+
+    def note_local(self, win, kind: str, offset: int, nbytes: int) -> None:
+        """Explicit annotation for a target-side access made through the
+        zero-copy ``Window.local_view()`` numpy array.
+
+        ``local_view`` bypasses the segment watch funnel (the ROADMAP's
+        documented ``local_view`` tracking gap): numpy reads/writes on the
+        returned array are invisible to :meth:`_seg_access`.  Programs
+        that keep the zero-copy path call ``Window.note_local`` to tell
+        the checker what they touched; the record is classified exactly
+        like an attributed ``local_load``/``local_store``."""
+        if kind not in ("load", "store"):
+            raise ValueError(f"note_local kind must be 'load' or 'store', "
+                             f"not {kind!r}")
+        if not self.config.track_local:
+            return
+        from repro.check import epochs
+
+        self.accesses_seen += 1
+        if self.truncated:
+            return
+        rank = win.rank
+        rec = Access(
+            rank=rank, kind=f"local_{kind}", op=None, win_id=win.win_id,
+            target=rank, ranges=((int(offset), int(offset) + int(nbytes)),),
             oseq=self._oseq.get((rank, win.win_id), 0),
             clock=self.clocks[rank].copy(), t_ns=win.ctx.now,
             epoch=epochs.epoch_context(win))

@@ -107,9 +107,30 @@ class McsLock:
             raise LockError("MCS lock is not reentrant")
         win = self.win
         ctx = win.ctx
+        t0 = ctx.now
         if ctx.notifier is not None:
             yield from self._acquire_guarded()
-            return
+        else:
+            yield from self._acquire_plain()
+        obs = ctx.obs
+        if obs is not None:
+            # Lock-contention span: wait time is the whole enqueue-to-
+            # hand-off interval (uncontended acquires show the bare AMO
+            # round trip).  Pure recording -- never perturbs schedules.
+            obs.rank_span(ctx.rank, "mcs.acquire", t0, ctx.now, cat="lock",
+                          args={"win": win.win_id, "base": self.base})
+            obs.metrics.count("mcs.acquires", ctx.rank)
+            obs.metrics.observe("mcs.acquire_wait_ns", ctx.rank,
+                                ctx.now - t0)
+        ck = ctx.checker
+        if ck is not None:
+            # Happens-before: an exclusive MCS acquire is ordered after
+            # every prior release of this lock instance.
+            ck.mcs_acquired(ctx.rank, (win.win_id, self.base))
+
+    def _acquire_plain(self):
+        win = self.win
+        ctx = win.ctx
         me = ctx.rank + 1
         my = self._cells(ctx.rank)
         my.store(self.base + IDX_NEXT, 0)
@@ -125,14 +146,35 @@ class McsLock:
         self.holding = True
 
     def release(self):
-        """Hand off to the successor (or clear the tail)."""
+        """Hand off to the successor (or clear the tail).
+
+        Checker contract: the release deposits this rank's clock *before*
+        the hand-off AMO fires, so a successor's acquire observes it.
+        Like the paper's lock examples, the program must flush its RMA
+        operations before releasing for the edge to be truthful -- the
+        MCS hand-off itself completes no RMA operations.
+        """
         if not self.holding:
             raise LockError("releasing an MCS lock not held")
         win = self.win
         ctx = win.ctx
+        ck = ctx.checker
+        if ck is not None:
+            ck.mcs_released(ctx.rank, (win.win_id, self.base))
+        t0 = ctx.now
         if ctx.notifier is not None:
             yield from self._release_guarded()
-            return
+        else:
+            yield from self._release_plain()
+        obs = ctx.obs
+        if obs is not None:
+            obs.rank_span(ctx.rank, "mcs.release", t0, ctx.now, cat="lock",
+                          args={"win": win.win_id, "base": self.base})
+            obs.metrics.count("mcs.releases", ctx.rank)
+
+    def _release_plain(self):
+        win = self.win
+        ctx = win.ctx
         me = ctx.rank + 1
         my = self._cells(ctx.rank)
         if my.load(self.base + IDX_NEXT) == 0:

@@ -49,6 +49,10 @@ class FompiParams:
     pscw_wait_overhead: float = 1800.0   # P_wait  = 1.8 us
     pscw_ring_capacity: int = 64         # matching-list slots (>= max k)
 
+    # User-extension control words past the PSCW ring (MCS queue locks
+    # take three words each; apps needing many striped locks raise this).
+    user_ctrl_words: int = 8
+
     # Fence: per-dissemination-round software cost (gsync bookkeeping,
     # memory barriers, progress) on top of the barrier messages, so the
     # total lands on P_fence = 2.9 us * log2 p.

@@ -46,9 +46,10 @@ class RmaContext:
 
     # ------------------------------------------------------------------
     def _make_ctrl(self, win: Window) -> AtomicArray:
-        # Base words + PSCW matching ring + a few user-extension words
+        # Base words + PSCW matching ring + the user-extension words
         # (e.g. for MCS queue locks, repro.rma.mcs).
-        ncells = CTRL_WORDS_BASE + self.params.pscw_ring_capacity + 8
+        ncells = (CTRL_WORDS_BASE + self.params.pscw_ring_capacity
+                  + self.params.user_ctrl_words)
         ctrl = AtomicArray(self.ctx.env, ncells,
                            name=f"win{win.win_id}@{self.ctx.rank}")
         self.ctx.world.counters.add_control_memory(self.ctx.rank, ncells)

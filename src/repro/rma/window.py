@@ -501,6 +501,22 @@ class Window:
             return
         seg.write(base + offset, data)
 
+    def note_local(self, kind: str, nbytes: int, offset: int = 0) -> None:
+        """Annotate a target-side access made through :meth:`local_view`.
+
+        The zero-copy numpy array returned by :meth:`local_view` bypasses
+        the checker's segment watch funnel, so accesses through it are
+        invisible to race detection (the documented ``local_view`` gap).
+        Programs that keep the zero-copy path declare those accesses
+        explicitly: ``kind`` is ``"load"`` or ``"store"``, the range is
+        ``[offset, offset + nbytes)`` in bytes from the window base.
+        Zero simulated cost; a no-op without a checker attached.
+        """
+        self._check_alive()
+        ck = self.ctx.checker
+        if ck is not None:
+            ck.note_local(self, kind, offset, nbytes)
+
     def local_load(self, nbytes: int, offset: int = 0) -> np.ndarray:
         """Target-side CPU load from this rank's window memory (the
         checker-visible counterpart of reading :meth:`local_view`)."""

@@ -73,7 +73,8 @@ class WorkloadSpec:
 def ctrl_words_per_rank(params: FompiParams | None = None) -> int:
     """Control words win_allocate charges per rank (mirrors _make_ctrl)."""
     params = params or FompiParams()
-    return CTRL_WORDS_BASE + params.pscw_ring_capacity + 8
+    return (CTRL_WORDS_BASE + params.pscw_ring_capacity
+            + params.user_ctrl_words)
 
 
 # ---------------------------------------------------------------------------

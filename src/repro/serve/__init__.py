@@ -1,0 +1,17 @@
+"""Open-loop serving layer: workload generation, drivers, SLO reports.
+
+``repro.serve`` turns the RMA KV store (:mod:`repro.apps.kvstore`) into
+a served system: seeded Zipfian key popularity + Poisson arrivals
+(:mod:`repro.serve.zipf`), open-loop SPMD drivers measuring per-request
+latency end to end through the DES (:mod:`repro.serve.driver`), and
+deterministic tail-latency reports with SLO gates
+(:mod:`repro.serve.slo`).
+"""
+
+from repro.serve.driver import kv_serve_program, run_kv_serve
+from repro.serve.slo import build_report, render_report, report_digest
+from repro.serve.zipf import ServeSpec, client_schedule
+
+__all__ = ["ServeSpec", "client_schedule", "kv_serve_program",
+           "run_kv_serve", "build_report", "render_report",
+           "report_digest"]

@@ -1,0 +1,150 @@
+"""Open-loop serving drivers: one client co-located with each store rank.
+
+Each rank preloads its share of the keyspace, then replays its seeded
+schedule (:func:`repro.serve.zipf.client_schedule`) open-loop: request
+``i`` is *scheduled* at phase-relative time ``t_i``; if the client is
+still busy when ``t_i`` passes, the request queues and its measured
+latency includes the queueing delay (completion minus scheduled arrival)
+-- the honest open-loop tail, not the coordinated-omission one.
+
+Two store backends share the schedule: the RMA :class:`KvStore`
+(:func:`kv_serve_program` here) and the MPI-1 active-message comparator
+(:func:`repro.apps.kvstore.mpi1_kv.mpi1_kv_program`), which models the
+paper's receiver involvement -- every remote request interrupts the
+owner, exactly the cost fig7a's two-sided curve pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.kvstore.layout import KvLayout
+from repro.apps.kvstore.rma_kv import KvStore
+from repro.config import CheckConfig, MachineConfig, ObsConfig, SimConfig
+from repro.serve.zipf import OP_GET, OP_PUT, OP_UPDATE, ServeSpec, \
+    client_schedule
+from repro.sim.random import derive_seed
+
+__all__ = ["kv_serve_program", "run_kv_serve", "initial_value",
+           "expected_contents", "merged_contents", "all_latencies"]
+
+_MASK63 = (1 << 63) - 1
+
+
+def initial_value(seed: int, key: int) -> int:
+    """Preloaded value of ``key`` (shared by all backends + the model)."""
+    return derive_seed(seed, f"kv-init-{key}") & _MASK63
+
+
+# ----------------------------------------------------------------------
+# RMA backend
+# ----------------------------------------------------------------------
+def kv_serve_program(ctx, spec: ServeSpec, n_stripes: int = 8):
+    """One rank of the RMA serving phase.
+
+    Returns ``(lat, contents)``: ``lat`` is an int64 array of
+    ``(scheduled_ns, completed_ns, op)`` rows, ``contents`` this rank's
+    final (key, value) partition from the post-barrier occupancy scan.
+    Schedule keys are 0-based; the store keys are ``key + 1`` (zero
+    marks an empty slot word).
+    """
+    layout = KvLayout.default(max(1, spec.nkeys // ctx.nranks + 1))
+    store = KvStore(ctx, layout, n_stripes=n_stripes)
+    yield from store.setup()
+    for key in range(ctx.rank, spec.nkeys, ctx.nranks):
+        yield from store.put(key + 1, initial_value(spec.seed, key))
+    yield from store.win.flush_all()
+    yield from ctx.coll.barrier()
+
+    sched = client_schedule(spec, ctx.rank, ctx.nranks)
+    lat = np.zeros((len(sched), 3), dtype=np.int64)
+    t0 = ctx.now
+    obs = ctx.obs
+    for i in range(len(sched)):
+        t_arr = t0 + int(sched[i, 0])
+        if ctx.now < t_arr:
+            yield ctx.env.timeout(t_arr - ctx.now)
+        op, key, value = int(sched[i, 1]), int(sched[i, 2]), int(sched[i, 3])
+        if op == OP_GET:
+            yield from store.get(key + 1)
+        elif op == OP_PUT:
+            yield from store.put(key + 1, value)
+        else:
+            yield from store.update(key + 1, value)
+        done = ctx.now
+        lat[i] = (t_arr, done, op)
+        if obs is not None:
+            obs.metrics.observe("kv.latency_ns", ctx.rank, done - t_arr)
+
+    yield from store.win.flush_all()
+    # Orders every rank's remote operations before the local scans.
+    yield from ctx.coll.barrier()
+    contents = store.scan_local()
+    yield from store.close()
+    return lat, contents
+
+
+def run_kv_serve(nranks: int, spec: ServeSpec, *, n_stripes: int = 8,
+                 ranks_per_node: int = 8, check: bool = False):
+    """One-shot RMA serving run with observability (and optionally the
+    race checker) attached."""
+    from repro.runtime.job import run_spmd
+
+    return run_spmd(kv_serve_program, nranks, spec, n_stripes,
+                    machine=MachineConfig(ranks_per_node=ranks_per_node),
+                    sim=SimConfig(seed=spec.seed),
+                    obs=ObsConfig(enabled=True),
+                    check=CheckConfig(enabled=True) if check else None)
+
+
+# ----------------------------------------------------------------------
+# verification helpers
+# ----------------------------------------------------------------------
+def all_latencies(result) -> np.ndarray:
+    """Per-request latencies (completed - scheduled) across all ranks;
+    raises the first rank failure."""
+    rows = []
+    for value in result.returns:
+        if isinstance(value, BaseException):
+            raise value
+        rows.append(value[0])
+    lat = np.concatenate(rows) if rows else np.zeros((0, 3), np.int64)
+    return lat[:, 1] - lat[:, 0]
+
+
+def merged_contents(result) -> dict[int, int]:
+    """Union of all ranks' final partitions (1-based store keys)."""
+    merged: dict[int, int] = {}
+    for value in result.returns:
+        if isinstance(value, BaseException):
+            raise value
+        merged.update(value[1])
+    return merged
+
+
+def expected_contents(spec: ServeSpec, nclients: int):
+    """Replay the schedules into a model: returns (key set, and for keys
+    never PUT, the deterministic final value).
+
+    PUT overwrites resolve by timing against other clients' PUTs and
+    UPDATEs (last writer wins), so only the key *set* is
+    schedule-independent for them; keys touched by GETs/UPDATEs only
+    keep a deterministic value (updates commute and are applied under
+    CAS).  Both returned structures use 1-based store keys."""
+    keys = {k + 1 for k in range(spec.nkeys)}
+    put_by: dict[int, set] = {}
+    deltas: dict[int, int] = {}
+    for client in range(nclients):
+        for t, op, key, value in client_schedule(spec, client, nclients):
+            k = int(key) + 1
+            if op == OP_PUT:
+                put_by.setdefault(k, set()).add(client)
+            elif op == OP_UPDATE:
+                deltas[k] = (deltas.get(k, 0) + int(value)) & _MASK63
+    determined = {}
+    for k in keys:
+        if k in put_by:
+            continue
+        determined[k] = (initial_value(spec.seed, k - 1)
+                         + deltas.get(k, 0)) & _MASK63
+    return keys, determined
